@@ -1,0 +1,141 @@
+// Command codsbench regenerates the paper's evaluation figures
+// (Section V) and the ablation studies.
+//
+// Usage:
+//
+//	codsbench -fig 8              # one figure at paper scale
+//	codsbench -fig all            # figures 8-16
+//	codsbench -fig ablations      # ablation studies
+//	codsbench -fig functional     # executed (not analytic) comparison
+//	codsbench -fig all -scale small
+//	codsbench -fig 8 -csv         # emit CSV instead of a table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/insitu/cods/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8..16, all, ablations, functional, staging, ratio, mapping-cost")
+	scaleName := flag.String("scale", "paper", "experiment scale: paper or small")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := flag.String("o", "", "also write each table to <dir>/<figure>.txt and .csv")
+	factors := flag.String("factors", "1,2,4,8,16", "weak-scaling factors for figure 16")
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scaleName {
+	case "paper":
+		sc = bench.PaperScale()
+	case "small":
+		sc = bench.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "codsbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	tables, err := run(*fig, sc, *factors)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "codsbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		var werr error
+		if *csv {
+			werr = t.CSV(os.Stdout)
+		} else {
+			werr = t.Render(os.Stdout)
+		}
+		if werr == nil && *outDir != "" {
+			werr = writeTable(*outDir, t)
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "codsbench: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTable saves a table under dir as both aligned text and CSV.
+func writeTable(dir string, t *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, t.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	if err := t.Render(txt); err != nil {
+		txt.Close()
+		return err
+	}
+	if err := txt.Close(); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(csvf); err != nil {
+		csvf.Close()
+		return err
+	}
+	return csvf.Close()
+}
+
+func run(fig string, sc bench.Scale, factorSpec string) ([]*bench.Table, error) {
+	one := func(t *bench.Table, err error) ([]*bench.Table, error) {
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Table{t}, nil
+	}
+	switch fig {
+	case "8":
+		return one(bench.Fig8(sc))
+	case "9":
+		return one(bench.Fig9(sc))
+	case "10":
+		return one(bench.Fig10(sc))
+	case "11":
+		return one(bench.Fig11(sc))
+	case "12":
+		return one(bench.Fig12(sc))
+	case "13":
+		return one(bench.Fig13(sc))
+	case "14":
+		return one(bench.Fig14(sc))
+	case "15":
+		return one(bench.Fig15(sc))
+	case "16":
+		var factors []int
+		for _, part := range strings.Split(factorSpec, ",") {
+			f, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad weak-scaling factor %q", part)
+			}
+			factors = append(factors, f)
+		}
+		return one(bench.Fig16(sc, factors))
+	case "all":
+		return bench.All(sc)
+	case "ablations":
+		return bench.Ablations(sc)
+	case "functional":
+		return one(bench.FunctionalComparison(bench.SmallScale()))
+	case "staging":
+		return one(bench.StagingComparison(sc))
+	case "ratio":
+		return one(bench.RatioSweep(sc, nil))
+	case "mapping-cost":
+		return one(bench.MappingCost(sc, nil))
+	}
+	return nil, fmt.Errorf("unknown figure %q (want 8..16, all, ablations, functional, staging, ratio, mapping-cost)", fig)
+}

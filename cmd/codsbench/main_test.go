@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/insitu/cods/internal/bench"
+)
+
+func TestRunSelectors(t *testing.T) {
+	sc := bench.SmallScale()
+	for _, fig := range []string{"8", "9", "10", "11", "12", "13", "14", "15"} {
+		tables, err := run(fig, sc, "")
+		if err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if len(tables) != 1 || len(tables[0].Rows) == 0 {
+			t.Fatalf("fig %s: empty", fig)
+		}
+	}
+	if _, err := run("16", sc, "1,2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run("16", sc, "1,x"); err == nil {
+		t.Fatal("bad factor accepted")
+	}
+	if _, err := run("unknown", sc, ""); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	for _, fig := range []string{"staging", "ratio", "mapping-cost", "functional"} {
+		if _, err := run(fig, sc, ""); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	dir := t.TempDir()
+	tbl := &bench.Table{ID: "demo", Title: "t", Columns: []string{"a"}}
+	tbl.AddRow("1")
+	if err := writeTable(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"demo.txt", "demo.csv"} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err != nil || fi.Size() == 0 {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Command codsrun executes a coupled workflow described by a DAG file on a
+// simulated multi-core machine, using synthetic producer/consumer
+// applications, and reports the traffic and timing the framework measured.
+//
+// Each application is declared with -app id:kind:grid (kind one of
+// blocked, cyclic, block-cyclic; grid like 4x4x2). The first application
+// of a multi-application bundle produces data that the bundle's other
+// applications consume concurrently; an application with workflow parents
+// consumes the data its parent produced sequentially; other applications
+// produce data sequentially.
+//
+// Example (the paper's online data processing scenario):
+//
+//	codsrun -nodes 12 -cores 4 -domain 32x32x32 \
+//	    -app 1:blocked:4x4x2 -app 2:blocked:2x2x2 \
+//	    -dag online.dag -policy data-centric
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cods "github.com/insitu/cods"
+	"github.com/insitu/cods/internal/apps"
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/mapping"
+)
+
+type appFlags []string
+
+func (a *appFlags) String() string     { return strings.Join(*a, ",") }
+func (a *appFlags) Set(s string) error { *a = append(*a, s); return nil }
+
+func main() {
+	nodes := flag.Int("nodes", 12, "number of compute nodes")
+	cores := flag.Int("cores", 4, "cores per node")
+	domainSpec := flag.String("domain", "32x32x32", "coupled domain size, e.g. 32x32x32")
+	dagPath := flag.String("dag", "", "workflow description file (required)")
+	policyName := flag.String("policy", "data-centric", "task mapping: data-centric or round-robin")
+	iterations := flag.Int("iterations", 1, "coupling iterations for concurrent bundles")
+	halo := flag.Int("halo", 1, "stencil ghost width (0 disables intra-app exchange)")
+	verify := flag.Bool("verify", true, "verify retrieved data cell by cell")
+	flowsPath := flag.String("flows", "", "write the recorded transfer flows as JSON Lines to this file")
+	verbose := flag.Bool("v", false, "print the per-node task placement of every stage")
+	var appSpecs appFlags
+	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
+	flag.Parse()
+
+	if err := run(*nodes, *cores, *domainSpec, *dagPath, *policyName, *iterations, *halo, *verify, *verbose, *flowsPath, appSpecs); err != nil {
+		fmt.Fprintf(os.Stderr, "codsrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(spec, sep string) ([]int, error) {
+	parts := strings.Split(spec, sep)
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", p, spec)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, halo int, verify, verbose bool, flowsPath string, appSpecs []string) error {
+	if dagPath == "" {
+		return fmt.Errorf("-dag is required")
+	}
+	var policy cods.Policy
+	switch policyName {
+	case "data-centric":
+		policy = cods.DataCentric
+	case "round-robin":
+		policy = cods.RoundRobin
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	domain, err := parseInts(domainSpec, "x")
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(dagPath)
+	if err != nil {
+		return err
+	}
+	d, err := cods.ParseWorkflow(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	// A DOMAIN directive in the DAG file overrides the -domain flag.
+	if d.Domain != nil {
+		domain = d.Domain
+	}
+	fw, err := cods.New(cods.Config{Nodes: nodes, CoresPerNode: cores, Domain: domain})
+	if err != nil {
+		return err
+	}
+
+	// Decomposition declarations come from the DAG file's DECOMP
+	// directives, optionally overridden/completed by -app flags.
+	decomps := make(map[int]*cods.Decomposition)
+	if len(d.Decomps) > 0 {
+		fromFile, err := d.Decompositions(domain)
+		if err != nil {
+			return err
+		}
+		for id, dc := range fromFile {
+			decomps[id] = dc
+		}
+	}
+	for _, spec := range appSpecs {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("bad -app spec %q (want id:kind:grid)", spec)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return fmt.Errorf("bad app id in %q", spec)
+		}
+		grid, err := parseInts(parts[2], "x")
+		if err != nil {
+			return err
+		}
+		var dc *cods.Decomposition
+		switch parts[1] {
+		case "blocked":
+			dc, err = fw.BlockedDecomposition(grid)
+		case "cyclic":
+			dc, err = fw.CyclicDecomposition(grid)
+		case "block-cyclic":
+			block := make([]int, len(grid))
+			for i := range block {
+				block[i] = 2
+			}
+			dc, err = fw.BlockCyclicDecomposition(grid, block)
+		default:
+			return fmt.Errorf("unknown distribution %q in %q", parts[1], spec)
+		}
+		if err != nil {
+			return err
+		}
+		decomps[id] = dc
+	}
+
+	// Classify each application by its workflow role and register the
+	// matching synthetic subroutine.
+	bundleOf := make(map[int][]int)
+	for _, b := range d.Bundles {
+		for _, a := range b {
+			bundleOf[a] = b
+		}
+	}
+	for _, id := range d.Apps {
+		dc, ok := decomps[id]
+		if !ok {
+			return fmt.Errorf("application %d has no -app declaration", id)
+		}
+		bundle := bundleOf[id]
+		spec := cods.AppSpec{ID: id, Decomp: dc}
+		switch {
+		case len(bundle) > 1 && bundle[0] == id:
+			spec.Run = apps.NewProducer(apps.ProducerConfig{
+				Var: fmt.Sprintf("data.%d", id), Iterations: iterations, Halo: halo,
+				Mode: apps.Concurrent,
+			})
+			fmt.Printf("app %d: concurrent producer (%d tasks, %s)\n", id, dc.NumTasks(), dc)
+		case len(bundle) > 1:
+			spec.Run = apps.NewConsumer(apps.ConsumerConfig{
+				Var: fmt.Sprintf("data.%d", bundle[0]), Producer: bundle[0],
+				Iterations: iterations, Halo: halo, Mode: apps.Concurrent, Verify: verify,
+			})
+			fmt.Printf("app %d: concurrent consumer of app %d (%d tasks, %s)\n", id, bundle[0], dc.NumTasks(), dc)
+		case len(d.Parents(id)) > 0:
+			parent := d.Parents(id)[0]
+			spec.Run = apps.NewConsumer(apps.ConsumerConfig{
+				Var: fmt.Sprintf("data.%d", parent), Iterations: 1, Halo: halo,
+				Mode: apps.Sequential, Verify: verify,
+			})
+			spec.ReadsVar = fmt.Sprintf("data.%d", parent)
+			fmt.Printf("app %d: sequential consumer of app %d (%d tasks, %s)\n", id, parent, dc.NumTasks(), dc)
+		default:
+			spec.Run = apps.NewProducer(apps.ProducerConfig{
+				Var: fmt.Sprintf("data.%d", id), Iterations: 1, Halo: halo,
+				Mode: apps.Sequential,
+			})
+			fmt.Printf("app %d: sequential producer (%d tasks, %s)\n", id, dc.NumTasks(), dc)
+		}
+		if err := fw.RegisterApp(spec); err != nil {
+			return err
+		}
+	}
+
+	rep, err := fw.RunWorkflow(d, policy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nworkflow complete: %d bundles, %d tasks, policy %s\n",
+		rep.BundlesRun, rep.TasksRun, rep.Policy)
+	if verbose {
+		printed := map[*cluster.Placement]bool{}
+		for _, id := range d.Apps {
+			pl := rep.PlacementOf[id]
+			if pl == nil || printed[pl] {
+				continue
+			}
+			printed[pl] = true
+			fmt.Printf("placement (apps sharing app %d's stage):\n%s", id, mapping.Describe(fw.MachineInfo(), pl))
+		}
+	}
+	tr := fw.Traffic()
+	fmt.Printf("coupled data:   %12d B network, %12d B shared memory (%.1f%% in-situ)\n",
+		tr.CoupledNetwork, tr.CoupledShm, 100*ratio(tr.CoupledShm, tr.CoupledNetwork+tr.CoupledShm))
+	fmt.Printf("intra-app data: %12d B network, %12d B shared memory\n", tr.IntraNetwork, tr.IntraShm)
+	fmt.Printf("control:        %12d B network, %12d B shared memory\n", tr.ControlNetwork, tr.ControlShm)
+	secs, err := fw.PhaseTime("couple:")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated coupled-data retrieval time: %.3f ms\n", secs*1e3)
+	if flowsPath != "" {
+		out, err := os.Create(flowsPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := fw.WriteFlows(out); err != nil {
+			return err
+		}
+		fmt.Printf("flow trace written to %s\n", flowsPath)
+	}
+	return nil
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

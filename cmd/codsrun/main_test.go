@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDAG(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "wf.dag")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunConcurrentWorkflowFile(t *testing.T) {
+	dag := writeDAG(t, "DOMAIN 16 16 16\nAPP_ID 1\nAPP_ID 2\nDECOMP 1 blocked 2 2 2\nDECOMP 2 blocked 2 2 1\nBUNDLE 1 2\n")
+	flows := filepath.Join(t.TempDir(), "flows.jsonl")
+	err := run(4, 4, "8x8x8", dag, "data-centric", 1, 1, true, true, flows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(flows); err != nil || fi.Size() == 0 {
+		t.Fatalf("flow trace not written: %v", err)
+	}
+}
+
+func TestRunSequentialWorkflowFile(t *testing.T) {
+	dag := writeDAG(t, "APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\n")
+	err := run(4, 4, "16x16", dag, "round-robin", 1, 1, true, false, "",
+		[]string{"1:blocked:4x2", "2:cyclic:2x2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dag := writeDAG(t, "APP_ID 1\n")
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"missing dag", run(2, 2, "8x8", "", "data-centric", 1, 0, false, false, "", nil)},
+		{"bad policy", run(2, 2, "8x8", dag, "fancy", 1, 0, false, false, "", nil)},
+		{"bad domain", run(2, 2, "8xq", dag, "data-centric", 1, 0, false, false, "", nil)},
+		{"missing app decl", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", nil)},
+		{"bad app spec", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", []string{"nope"})},
+		{"bad app kind", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", []string{"1:fancy:2x2"})},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

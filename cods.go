@@ -1,0 +1,253 @@
+// Package cods is a distributed data sharing and task execution framework
+// for the in-situ execution of coupled scientific workflows, reproducing
+// Zhang et al., "Enabling In-situ Execution of Coupled Scientific Workflow
+// on Multi-core Platform" (IPDPS 2012).
+//
+// A workflow is a DAG of data-parallel applications extended with
+// "bundles" (applications scheduled simultaneously because they exchange
+// data at runtime). The framework places the computation tasks of the
+// coupled applications onto the cores of a simulated multi-core machine
+// with a data-centric, locality-aware mapping, so that most of the coupled
+// data moves through intra-node shared memory instead of the network:
+//
+//   - concurrently coupled bundles are mapped server-side by partitioning
+//     the inter-application communication graph (a from-scratch multilevel
+//     k-way partitioner plays the role of METIS);
+//   - sequentially coupled consumers are mapped client-side: each
+//     execution client queries the CoDS data-lookup service (a DHT over a
+//     Hilbert space-filling-curve linearization of the data domain) and
+//     re-dispatches its task to the node storing most of its input.
+//
+// Applications exchange data through the Co-located DataSpaces (CoDS)
+// shared-space abstraction: PutConcurrent/GetConcurrent for direct
+// producer-to-consumer coupling and PutSequential/GetSequential for
+// staging through the distributed in-memory store. All transfers run on
+// HybridDART, which picks shared memory or the (simulated) network fabric
+// per transfer and meters every byte; a flow-level 3-D torus network
+// simulator turns the recorded transfers into transfer times.
+//
+// # Quick start
+//
+//	fw, err := cods.New(cods.Config{Nodes: 4, CoresPerNode: 4, Domain: []int{32, 32, 32}})
+//	...
+//	producerDecomp, _ := fw.BlockedDecomposition([]int{4, 4, 2})
+//	fw.RegisterApp(cods.AppSpec{ID: 1, Decomp: producerDecomp, Run: produce})
+//	...
+//	report, err := fw.RunWorkflowText("APP_ID 1\nAPP_ID 2\nBUNDLE 1 2\n", cods.DataCentric)
+//
+// See examples/ for complete programs and internal/bench for the
+// reproduction of the paper's evaluation.
+package cods
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/insitu/cods/internal/cluster"
+	icods "github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/lock"
+	"github.com/insitu/cods/internal/netsim"
+	"github.com/insitu/cods/internal/runtime"
+	"github.com/insitu/cods/internal/trace"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+// Re-exported core types; see the internal packages for full reference
+// documentation.
+type (
+	// AppContext is the per-task view an application subroutine receives.
+	AppContext = runtime.AppContext
+	// AppFunc is an application subroutine, invoked once per task.
+	AppFunc = runtime.AppFunc
+	// AppSpec declares an application (id, decomposition, subroutine,
+	// optionally the variable it reads from a sequential producer).
+	AppSpec = runtime.AppSpec
+	// Policy selects the task mapping strategy.
+	Policy = runtime.Policy
+	// Report summarizes a workflow run.
+	Report = runtime.Report
+	// DAG is a parsed workflow description.
+	DAG = workflow.DAG
+	// Decomposition maps a data domain onto application ranks.
+	Decomposition = decomp.Decomposition
+	// BBox is an axis-aligned region descriptor (inclusive Min, exclusive
+	// Max), the geometric descriptor of the put/get operators.
+	BBox = geometry.BBox
+	// Point is an n-dimensional integer coordinate.
+	Point = geometry.Point
+	// ProducerInfo describes a concurrently coupled producer for
+	// GetConcurrent.
+	ProducerInfo = icods.ProducerInfo
+	// LockClient is a task's handle on the distributed reader/writer lock
+	// service (AppContext.Locks), for lock-on-write / lock-on-read
+	// coordination of shared variables.
+	LockClient = lock.Client
+)
+
+// Mapping policies.
+const (
+	// DataCentric is the paper's contribution: server-side graph
+	// partitioning for bundles, client-side locality mapping for
+	// sequential consumers.
+	DataCentric = runtime.DataCentric
+	// RoundRobin is the launcher baseline.
+	RoundRobin = runtime.RoundRobin
+)
+
+// ElemSize is the size in bytes of one domain cell (float64 fields).
+const ElemSize = icods.ElemSize
+
+// NewBBox builds a region descriptor from inclusive lower and exclusive
+// upper corners, e.g. NewBBox(Point{0,0,0}, Point{10,10,20}).
+func NewBBox(min, max Point) BBox { return geometry.NewBBox(min, max) }
+
+// Config sizes the simulated platform and the coupled data domain.
+type Config struct {
+	// Nodes is the number of compute nodes of the allocation.
+	Nodes int
+	// CoresPerNode is the core count per node (the paper's Jaguar XT5
+	// nodes have 12).
+	CoresPerNode int
+	// Domain is the size of the coupled data domain, one extent per
+	// dimension.
+	Domain []int
+	// Seed makes the randomized mapping phases deterministic (default 1).
+	Seed int64
+}
+
+// Framework is the top-level handle: a simulated machine, the CoDS space
+// and the workflow management server.
+type Framework struct {
+	machine *cluster.Machine
+	server  *runtime.Server
+	domain  geometry.BBox
+}
+
+// New bootstraps the framework on a simulated machine.
+func New(cfg Config) (*Framework, error) {
+	if len(cfg.Domain) == 0 {
+		return nil, fmt.Errorf("cods: empty domain")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	m, err := cluster.NewMachine(cfg.Nodes, cfg.CoresPerNode)
+	if err != nil {
+		return nil, err
+	}
+	domain := geometry.BoxFromSize(cfg.Domain)
+	srv, err := runtime.NewServer(m, domain, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{machine: m, server: srv, domain: domain}, nil
+}
+
+// Domain returns the coupled data domain.
+func (f *Framework) Domain() BBox { return f.domain.Clone() }
+
+// MachineInfo exposes the simulated machine (topology, metrics) for
+// advanced reporting.
+func (f *Framework) MachineInfo() *cluster.Machine { return f.machine }
+
+// BlockedDecomposition decomposes the framework's domain with a standard
+// blocked distribution over the given process grid.
+func (f *Framework) BlockedDecomposition(grid []int) (*Decomposition, error) {
+	return decomp.New(decomp.Blocked, f.domain, grid, nil)
+}
+
+// CyclicDecomposition decomposes the domain cyclically (block size 1).
+func (f *Framework) CyclicDecomposition(grid []int) (*Decomposition, error) {
+	return decomp.New(decomp.Cyclic, f.domain, grid, nil)
+}
+
+// BlockCyclicDecomposition decomposes the domain block-cyclically with the
+// given per-dimension block size.
+func (f *Framework) BlockCyclicDecomposition(grid, block []int) (*Decomposition, error) {
+	return decomp.New(decomp.BlockCyclic, f.domain, grid, block)
+}
+
+// RegisterApp declares an application to the framework. Applications are
+// statically registered before the workflow runs, mirroring the paper's
+// pre-linked MPI subroutines.
+func (f *Framework) RegisterApp(spec AppSpec) error {
+	return f.server.RegisterApp(spec)
+}
+
+// ParseWorkflow reads a DAG description in the paper's format (APP_ID,
+// PARENT_APPID/CHILD_APPID, BUNDLE directives).
+func ParseWorkflow(r io.Reader) (*DAG, error) { return workflow.Parse(r) }
+
+// NewWorkflow builds a DAG programmatically; bundles may be nil, leaving
+// every application in its own implicit bundle.
+func NewWorkflow(apps []int, edges [][2]int, bundles [][]int) (*DAG, error) {
+	return workflow.New(apps, edges, bundles)
+}
+
+// RunWorkflow executes a workflow to completion under the given mapping
+// policy.
+func (f *Framework) RunWorkflow(d *DAG, policy Policy) (*Report, error) {
+	return f.server.Run(d, policy)
+}
+
+// RunWorkflowText parses a DAG description string and runs it.
+func (f *Framework) RunWorkflowText(text string, policy Policy) (*Report, error) {
+	d, err := ParseWorkflow(strings.NewReader(text))
+	if err != nil {
+		return nil, err
+	}
+	return f.RunWorkflow(d, policy)
+}
+
+// TrafficReport is the byte accounting of a run, per medium and class.
+type TrafficReport struct {
+	// CoupledNetwork / CoupledShm are inter-application coupling bytes.
+	CoupledNetwork, CoupledShm int64
+	// IntraNetwork / IntraShm are intra-application exchange bytes.
+	IntraNetwork, IntraShm int64
+	// ControlNetwork / ControlShm are framework control bytes (lookup
+	// queries, collective bookkeeping).
+	ControlNetwork, ControlShm int64
+}
+
+// Traffic returns the bytes moved so far, as metered by HybridDART.
+func (f *Framework) Traffic() TrafficReport {
+	mt := f.machine.Metrics()
+	return TrafficReport{
+		CoupledNetwork: mt.Bytes(cluster.InterApp, cluster.Network),
+		CoupledShm:     mt.Bytes(cluster.InterApp, cluster.SharedMemory),
+		IntraNetwork:   mt.Bytes(cluster.IntraApp, cluster.Network),
+		IntraShm:       mt.Bytes(cluster.IntraApp, cluster.SharedMemory),
+		ControlNetwork: mt.Bytes(cluster.Control, cluster.Network),
+		ControlShm:     mt.Bytes(cluster.Control, cluster.SharedMemory),
+	}
+}
+
+// ResetTraffic clears the byte counters and the flow log (between
+// experiments on one framework instance).
+func (f *Framework) ResetTraffic() { f.machine.Metrics().Reset() }
+
+// PhaseTime replays the transfers whose phase tag starts with the given
+// prefix through the flow-level torus network simulator and returns the
+// phase's completion time in seconds. Application code tags phases via
+// AppContext.Space.SetPhase; the framework uses "couple:<app>:<version>"
+// for consumer retrievals and "halo:<app>:<version>" for stencil
+// exchanges.
+func (f *Framework) PhaseTime(phasePrefix string) (float64, error) {
+	sim, err := netsim.New(netsim.DefaultConfig(), f.machine.NumNodes())
+	if err != nil {
+		return 0, err
+	}
+	return sim.PhaseTime(f.machine.Metrics(), phasePrefix), nil
+}
+
+// WriteFlows streams every transfer flow recorded so far to w as JSON
+// Lines (one flow per line: phase tag, source node, destination node,
+// bytes), for archiving or offline analysis.
+func (f *Framework) WriteFlows(w io.Writer) error {
+	return trace.Write(w, f.machine.Metrics().Flows(""))
+}

@@ -1,0 +1,3 @@
+module github.com/insitu/cods
+
+go 1.22

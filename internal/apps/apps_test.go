@@ -1,0 +1,337 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/runtime"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+func mustDecomp(t testing.TB, kind decomp.Kind, size, grid []int) *decomp.Decomposition {
+	t.Helper()
+	dc, err := decomp.New(kind, geometry.BoxFromSize(size), grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func newServer(t testing.TB, nodes, cores int, size []int) *runtime.Server {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runtime.NewServer(m, geometry.BoxFromSize(size), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCellValueDistinctAcrossVersions(t *testing.T) {
+	p := geometry.Point{1, 2, 3}
+	if CellValue(p, 0) == CellValue(p, 1) {
+		t.Fatal("versions collide")
+	}
+	q := geometry.Point{1, 2, 4}
+	if CellValue(p, 0) == CellValue(q, 0) {
+		t.Fatal("cells collide")
+	}
+}
+
+func TestFillVerifyRoundTrip(t *testing.T) {
+	b := geometry.NewBBox(geometry.Point{2, 3}, geometry.Point{6, 9})
+	data := FillRegion(b, 5)
+	if err := VerifyRegion(b, 5, data); err != nil {
+		t.Fatal(err)
+	}
+	data[3] = -1
+	if err := VerifyRegion(b, 5, data); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if err := VerifyRegion(b, 5, data[:4]); err == nil {
+		t.Fatal("short data not detected")
+	}
+}
+
+// Full concurrent workflow with verification and multiple iterations.
+func TestConcurrentProducerConsumerIterations(t *testing.T) {
+	size := []int{8, 8, 8}
+	s := newServer(t, 4, 4, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 2}),
+		Run:    NewProducer(ProducerConfig{Var: "u", Iterations: 3, Halo: 1, Mode: Concurrent}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 1}),
+		Run: NewConsumer(ConsumerConfig{
+			Var: "u", Producer: 1, Iterations: 3, Halo: 1, Mode: Concurrent, Verify: true,
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err != nil {
+		t.Fatal(err)
+	}
+	// Halo traffic must have been metered as intra-app bytes.
+	mt := s.Machine().Metrics()
+	intra := mt.Bytes(cluster.IntraApp, cluster.Network) + mt.Bytes(cluster.IntraApp, cluster.SharedMemory)
+	if intra == 0 {
+		t.Fatal("no intra-app halo traffic recorded")
+	}
+	inter := mt.Bytes(cluster.InterApp, cluster.Network) + mt.Bytes(cluster.InterApp, cluster.SharedMemory)
+	// 3 iterations x full 8^3 domain x 8 bytes of coupled data.
+	if want := int64(3 * 8 * 8 * 8 * 8); inter != want {
+		t.Fatalf("coupled bytes = %d, want %d", inter, want)
+	}
+}
+
+// Full sequential workflow: SAP1 stores, SAP2 and SAP3 retrieve and verify.
+func TestSequentialThreeAppWorkflow(t *testing.T) {
+	size := []int{8, 8, 8}
+	s := newServer(t, 4, 4, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 2}),
+		Run:    NewProducer(ProducerConfig{Var: "state", Iterations: 1, Mode: Sequential}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{2, 3} {
+		grid := []int{2, 2, 1}
+		if id == 3 {
+			grid = []int{1, 2, 2}
+		}
+		if err := s.RegisterApp(runtime.AppSpec{
+			ID:     id,
+			Decomp: mustDecomp(t, decomp.Blocked, size, grid),
+			Run: NewConsumer(ConsumerConfig{
+				Var: "state", Iterations: 1, Halo: 1, Mode: Sequential, Verify: true,
+			}),
+			ReadsVar: "state",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := workflow.New([]int{1, 2, 3}, [][2]int{{1, 2}, {1, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err != nil {
+		t.Fatal(err)
+	}
+	mt := s.Machine().Metrics()
+	inter := mt.Bytes(cluster.InterApp, cluster.Network) + mt.Bytes(cluster.InterApp, cluster.SharedMemory)
+	// Both consumers retrieve the full domain once.
+	if want := int64(2 * 8 * 8 * 8 * 8); inter != want {
+		t.Fatalf("coupled bytes = %d, want %d", inter, want)
+	}
+}
+
+// Mismatched distributions still deliver correct data (the mapping just
+// cannot keep it local — Figure 10's scenario).
+func TestConcurrentMismatchedDistributionsCorrectness(t *testing.T) {
+	size := []int{8, 8}
+	s := newServer(t, 4, 4, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2}),
+		Run:    NewProducer(ProducerConfig{Var: "w", Iterations: 1, Mode: Concurrent}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Cyclic, size, []int{2, 2}),
+		Run: NewConsumer(ConsumerConfig{
+			Var: "w", Producer: 1, Iterations: 1, Mode: Concurrent, Verify: true,
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaloExchangeNoGridNeighbours(t *testing.T) {
+	// Single-task app: halo must be a no-op and not deadlock.
+	size := []int{4, 4}
+	s := newServer(t, 1, 2, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: func(ctx *runtime.AppContext) error {
+			return HaloExchange(ctx, 2)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	if _, err := s.Run(d, runtime.DataCentric); err != nil {
+		t.Fatal(err)
+	}
+	if b := s.Machine().Metrics().Bytes(cluster.IntraApp, cluster.Network); b != 0 {
+		t.Fatalf("single task produced halo bytes: %d", b)
+	}
+}
+
+func TestHaloBytesMatchAnalyticModel(t *testing.T) {
+	// The functional halo exchange must meter exactly the bytes the
+	// analytic StencilBytes model predicts (cross-checked via totals).
+	size := []int{8, 8}
+	s := newServer(t, 8, 1, size) // one core per node: all halo bytes cross the network
+	dc := mustDecomp(t, decomp.Blocked, size, []int{2, 4})
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: dc,
+		Run: func(ctx *runtime.AppContext) error {
+			return HaloExchange(ctx, 1)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	if _, err := s.Run(d, runtime.RoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Machine().Metrics().Bytes(cluster.IntraApp, cluster.Network)
+	// Analytic: each of 8 tasks exchanges along both dims; total bytes =
+	// sum over tasks and dims of 2 directions x face x halo x 8.
+	// dim0: face 2 (grid 2: wrap==direct, both exchanged), dim1: face 4.
+	// Per task: dim0 2*2*8=32... compute via graph model instead: totals
+	// must match the per-pair map summed.
+	var want int64
+	for d0 := 0; d0 < dc.NumTasks(); d0++ {
+		coord := dc.GridCoord(d0)
+		vol := dc.OwnedVolume(d0)
+		for dim, g := range dc.Grid() {
+			if g == 1 {
+				continue
+			}
+			var extent int64
+			for _, iv := range dc.Intervals(dim, coord[dim], 0, size[dim]) {
+				extent += int64(iv.Hi - iv.Lo)
+			}
+			want += 2 * (vol / extent) * 8 // two directional sends per task
+		}
+	}
+	if got != want {
+		t.Fatalf("halo bytes = %d, want %d", got, want)
+	}
+}
+
+// Ghost retrieval: neighbouring consumer tasks pull overlapping regions
+// (owned block + halo) and the data is still correct everywhere.
+func TestConsumerGhostRetrieval(t *testing.T) {
+	size := []int{8, 8}
+	s := newServer(t, 4, 4, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2}),
+		Run:    NewProducer(ProducerConfig{Var: "g", Iterations: 1, Mode: Sequential}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2}),
+		Run: NewConsumer(ConsumerConfig{
+			Var: "g", Iterations: 1, Mode: Sequential, Verify: true, GhostWidth: 2,
+		}),
+		ReadsVar: "g",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, [][2]int{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err != nil {
+		t.Fatal(err)
+	}
+	// Ghost pulls move more than the domain volume: 4 tasks each pull a
+	// (4+2+2)^2-clipped region instead of 4x4.
+	mt := s.Machine().Metrics()
+	inter := mt.Bytes(cluster.InterApp, cluster.Network) + mt.Bytes(cluster.InterApp, cluster.SharedMemory)
+	if inter <= int64(8*8*8) {
+		t.Fatalf("ghost retrieval moved only %d bytes", inter)
+	}
+}
+
+// Failure injection: a consumer asking for a variable nobody produced gets
+// a coverage error, which the runtime propagates.
+func TestConsumerMissingVariableFails(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run:    NewProducer(ProducerConfig{Var: "present", Iterations: 1, Mode: Sequential}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: NewConsumer(ConsumerConfig{
+			Var: "absent", Iterations: 1, Mode: Sequential,
+		}),
+		ReadsVar: "absent",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, [][2]int{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err == nil {
+		t.Fatal("missing variable did not fail the workflow")
+	}
+}
+
+// Failure injection: a consumer referencing a producer outside its bundle
+// fails cleanly.
+func TestConsumerWrongProducerFails(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run:    NewProducer(ProducerConfig{Var: "v", Iterations: 1, Mode: Concurrent}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: NewConsumer(ConsumerConfig{
+			Var: "v", Producer: 99, Iterations: 1, Mode: Concurrent,
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err == nil {
+		t.Fatal("unknown producer did not fail the workflow")
+	}
+}

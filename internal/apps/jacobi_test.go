@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/runtime"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+// hotSpot is an initial condition with a localized peak.
+func hotSpot(p geometry.Point) float64 {
+	v := 1.0
+	for _, x := range p {
+		if x != 2 {
+			v = 0
+		}
+	}
+	return v * 100
+}
+
+// gradient is a smooth non-trivial initial condition.
+func gradient(p geometry.Point) float64 {
+	v := 0.0
+	for d, x := range p {
+		v += float64((d + 1) * x)
+	}
+	return v
+}
+
+// runJacobiDistributed executes the solver on a simulated machine and
+// collects the published field.
+func runJacobiDistributed(t *testing.T, size, grid []int, iterations int,
+	init func(geometry.Point) float64) []float64 {
+	t.Helper()
+	s := newServer(t, 4, 4, size)
+	dc := mustDecomp(t, decomp.Blocked, size, grid)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: dc,
+		Run: NewJacobi(JacobiConfig{
+			Var: "u", Iterations: iterations, Init: init, Mode: Sequential,
+		}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A reader app collects the full field.
+	ones := make([]int, len(size))
+	for i := range ones {
+		ones[i] = 1
+	}
+	var collected []float64
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     2,
+		Decomp: mustDecomp(t, decomp.Blocked, size, ones),
+		Run: func(ctx *runtime.AppContext) error {
+			got, err := ctx.Space.GetSequential("u", iterations, ctx.Decomp.Domain())
+			if err != nil {
+				return err
+			}
+			collected = got
+			return nil
+		},
+		ReadsVar: "u",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, [][2]int{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, runtime.DataCentric); err != nil {
+		t.Fatal(err)
+	}
+	return collected
+}
+
+// The distributed solver must agree bit-exactly with the serial reference:
+// identical arithmetic per cell, only the data movement differs.
+func TestJacobiMatchesSerial(t *testing.T) {
+	cases := []struct {
+		size, grid []int
+		iters      int
+		init       func(geometry.Point) float64
+	}{
+		{[]int{8, 8}, []int{2, 2}, 5, hotSpot},
+		{[]int{8, 8}, []int{4, 2}, 3, gradient},
+		{[]int{6, 6, 6}, []int{2, 2, 2}, 4, hotSpot},
+	}
+	for ci, c := range cases {
+		domain := geometry.BoxFromSize(c.size)
+		want := JacobiSerial(domain, c.iters, c.init)
+		got := runJacobiDistributed(t, c.size, c.grid, c.iters, c.init)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: lengths %d vs %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: cell %d = %v, serial %v", ci, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Conservation: periodic Jacobi averaging preserves the field sum.
+func TestJacobiConservesMass(t *testing.T) {
+	domain := geometry.BoxFromSize([]int{8, 8})
+	initial := 0.0
+	domain.Each(func(p geometry.Point) { initial += gradient(p) })
+	after := JacobiSerial(domain, 10, gradient)
+	var sum float64
+	for _, v := range after {
+		sum += v
+	}
+	if math.Abs(sum-initial) > 1e-6*math.Abs(initial) {
+		t.Fatalf("mass not conserved: %v -> %v", initial, sum)
+	}
+}
+
+// Convergence: a hot spot diffuses toward the uniform mean.
+func TestJacobiDiffusesTowardMean(t *testing.T) {
+	domain := geometry.BoxFromSize([]int{8, 8})
+	mean := 100.0 / float64(domain.Volume())
+	early := JacobiSerial(domain, 1, hotSpot)
+	late := JacobiSerial(domain, 50, hotSpot)
+	dev := func(field []float64) float64 {
+		var d float64
+		for _, v := range field {
+			d += (v - mean) * (v - mean)
+		}
+		return d
+	}
+	if dev(late) >= dev(early) {
+		t.Fatalf("field did not diffuse: early dev %v, late dev %v", dev(early), dev(late))
+	}
+}
+
+func TestJacobiNeedsInit(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 1, 4, size)
+	if err := s.RegisterApp(runtime.AppSpec{
+		ID:     1,
+		Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2}),
+		Run:    NewJacobi(JacobiConfig{Var: "u", Iterations: 1}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	if _, err := s.Run(d, runtime.DataCentric); err == nil {
+		t.Fatal("missing Init accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/insitu/cods/internal/graph"
+	"github.com/insitu/cods/internal/mapping"
+)
+
+// RatioSweep quantifies the sensitivity the paper states at the end of
+// Section V-B: "the effectiveness of the data-centric task mapping also
+// depends on the ratio of inter-application data transfer size to
+// intra-application data exchange size". The sweep grows the stencil ghost
+// width — shifting traffic from coupling-dominated to exchange-dominated —
+// and reports the total network bytes under both mappings and the
+// resulting advantage.
+func RatioSweep(sc Scale, halos []int) (*Table, error) {
+	if halos == nil {
+		halos = []int{1, 2, 4, 8, 16, 32}
+	}
+	t := &Table{
+		ID:      "ratio",
+		Title:   "Coupling/exchange ratio sweep (concurrent, blocked/blocked)",
+		Columns: []string{"halo", "inter/intra ratio", "baseline total (GB)", "data-centric total (GB)", "advantage"},
+		Notes: []string{
+			"as intra-application exchange grows relative to coupling, the data-centric advantage shrinks — the paper's stated applicability condition",
+		},
+	}
+	cs, err := NewConcurrent(sc, Patterns()[0])
+	if err != nil {
+		return nil, err
+	}
+	base, dc, err := cs.Placements()
+	if err != nil {
+		return nil, err
+	}
+	interBase, err := mapping.CoupledTraffic(cs.Machine, base, base, cs.Prod, cs.Cons, ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	interDC, err := mapping.CoupledTraffic(cs.Machine, dc, dc, cs.Prod, cs.Cons, ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, halo := range halos {
+		var intraBase, intraDC int64
+		for _, a := range []graph.App{cs.Prod, cs.Cons} {
+			sb, err := mapping.StencilTraffic(cs.Machine, base, a, halo, ElemSize)
+			if err != nil {
+				return nil, err
+			}
+			sd, err := mapping.StencilTraffic(cs.Machine, dc, a, halo, ElemSize)
+			if err != nil {
+				return nil, err
+			}
+			intraBase += sb.Network
+			intraDC += sd.Network
+		}
+		totalBase := interBase.Network + intraBase
+		totalDC := interDC.Network + intraDC
+		ratio := "inf"
+		if intraBase > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(interBase.Network)/float64(intraBase))
+		}
+		adv := "n/a"
+		if totalDC > 0 {
+			adv = fmt.Sprintf("%.2fx", float64(totalBase)/float64(totalDC))
+		}
+		t.AddRow(fmt.Sprint(halo), ratio, gb(totalBase), gb(totalDC), adv)
+	}
+	return t, nil
+}

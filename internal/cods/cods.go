@@ -1,0 +1,459 @@
+// Package cods implements the Co-located DataSpaces (CoDS), the virtual
+// shared-space abstraction coupled applications use to exchange data
+// (paper Sections III and IV-A).
+//
+// CoDS offers two pairs of one-sided operators mirroring Table I of the
+// paper:
+//
+//   - PutConcurrent / GetConcurrent set up direct producer-to-consumer
+//     transfers for concurrently coupled applications. The consumer
+//     computes the communication schedule from the producer's declared
+//     data decomposition, then pulls each overlapping piece straight out
+//     of the producer's exposed memory.
+//   - PutSequential / GetSequential stage data through the distributed
+//     in-memory storage: the producer stores its blocks locally and
+//     registers their locations with the DHT-based lookup service; a
+//     consumer launched later queries the lookup service, computes the
+//     schedule and pulls the pieces from wherever they are stored.
+//
+// Both paths are receiver-driven and use HybridDART, so a pull whose
+// endpoints share a compute node is a shared-memory transfer and is
+// metered as such. Communication schedules are cached per client and
+// reused across iterations (versions), as coupling patterns repeat in
+// iterative simulations.
+package cods
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/dht"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/sfc"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// ElemSize is the size of one domain cell in bytes (float64 fields).
+const ElemSize = 8
+
+// StoredObject is the payload exposed for one stored block: the block's
+// region and its row-major data.
+type StoredObject struct {
+	Region geometry.BBox
+	Data   []float64
+}
+
+// Space is the machine-wide CoDS instance.
+type Space struct {
+	fabric *transport.Fabric
+	lookup *dht.Service
+
+	// memLimit bounds the staging memory per core in bytes (0 = unlimited).
+	// Staging nodes have finite memory; exceeding it is an error the
+	// application must handle by discarding older versions.
+	memLimit int64
+	memMu    sync.Mutex
+	memUsed  map[cluster.CoreID]int64
+}
+
+// NewSpace builds a CoDS over a fabric for a coupled data domain. The
+// domain determines the space-filling curve used by the lookup service.
+func NewSpace(f *transport.Fabric, domain geometry.BBox) (*Space, error) {
+	curve, err := sfc.CurveForDomain(domain.Sizes())
+	if err != nil {
+		return nil, fmt.Errorf("cods: %w", err)
+	}
+	return &Space{
+		fabric:  f,
+		lookup:  dht.NewService(f, curve),
+		memUsed: make(map[cluster.CoreID]int64),
+	}, nil
+}
+
+// SetMemoryLimit bounds the per-core staging memory in bytes (0 removes
+// the bound). Puts that would exceed it fail; Discard releases space.
+func (sp *Space) SetMemoryLimit(bytes int64) {
+	sp.memMu.Lock()
+	defer sp.memMu.Unlock()
+	sp.memLimit = bytes
+}
+
+// MemoryUsed reports the staging bytes currently held by a core.
+func (sp *Space) MemoryUsed(c cluster.CoreID) int64 {
+	sp.memMu.Lock()
+	defer sp.memMu.Unlock()
+	return sp.memUsed[c]
+}
+
+// reserve books n staging bytes on a core, failing when over the limit.
+func (sp *Space) reserve(c cluster.CoreID, n int64) error {
+	sp.memMu.Lock()
+	defer sp.memMu.Unlock()
+	if sp.memLimit > 0 && sp.memUsed[c]+n > sp.memLimit {
+		return fmt.Errorf("cods: core %d staging memory exhausted (%d + %d > %d)",
+			c, sp.memUsed[c], n, sp.memLimit)
+	}
+	sp.memUsed[c] += n
+	return nil
+}
+
+// release frees n staging bytes on a core.
+func (sp *Space) release(c cluster.CoreID, n int64) {
+	sp.memMu.Lock()
+	defer sp.memMu.Unlock()
+	sp.memUsed[c] -= n
+	if sp.memUsed[c] < 0 {
+		sp.memUsed[c] = 0
+	}
+}
+
+// Lookup exposes the data lookup service (used by the client-side task
+// mapping to find where coupled data is stored).
+func (sp *Space) Lookup() *dht.Service { return sp.lookup }
+
+// Fabric returns the underlying transport fabric.
+func (sp *Space) Fabric() *transport.Fabric { return sp.fabric }
+
+// Clear drops all lookup entries (between independent experiments).
+func (sp *Space) Clear() { sp.lookup.Clear() }
+
+// transfer is one element of a communication schedule: pull the cells of
+// Sub out of the block StoredBox exposed by core Owner.
+type transfer struct {
+	Owner     cluster.CoreID
+	StoredBox geometry.BBox
+	Sub       geometry.BBox
+}
+
+// Handle is an execution client's per-core view of the space.
+type Handle struct {
+	sp    *Space
+	core  cluster.CoreID
+	app   int
+	phase string
+
+	// schedCache caches communication schedules keyed by variable and
+	// query region; coupling patterns repeat across iterations so the DHT
+	// query and schedule computation are paid once (Section IV-A). The
+	// ablation benchmarks disable it.
+	schedCache   map[string][]transfer
+	CacheEnabled bool
+
+	// stats
+	CacheHits   int
+	CacheMisses int
+}
+
+// HandleAt creates a client handle for the given core, owned by app. phase
+// tags all traffic this handle generates.
+func (sp *Space) HandleAt(core cluster.CoreID, app int, phase string) *Handle {
+	return &Handle{
+		sp:           sp,
+		core:         core,
+		app:          app,
+		phase:        phase,
+		schedCache:   make(map[string][]transfer),
+		CacheEnabled: true,
+	}
+}
+
+// SetPhase switches the metering phase tag.
+func (h *Handle) SetPhase(phase string) { h.phase = phase }
+
+// Core returns the core this handle is bound to.
+func (h *Handle) Core() cluster.CoreID { return h.core }
+
+func (h *Handle) endpoint() *transport.Endpoint { return h.sp.fabric.Endpoint(h.core) }
+
+func (h *Handle) meter() transport.Meter {
+	return transport.Meter{Phase: h.phase, Class: cluster.InterApp, DstApp: h.app}
+}
+
+// bufKey derives the exposure key for a stored block of a variable.
+func bufKey(v string, region geometry.BBox, version int) transport.BufKey {
+	return transport.BufKey{Name: v + "|" + region.String(), Version: version}
+}
+
+// validatePut checks a put's arguments.
+func validatePut(v string, region geometry.BBox, data []float64) error {
+	if v == "" {
+		return fmt.Errorf("cods: empty variable name")
+	}
+	if region.Empty() {
+		return fmt.Errorf("cods: empty region for %q", v)
+	}
+	if int64(len(data)) != region.Volume() {
+		return fmt.Errorf("cods: %q data length %d != region volume %d", v, len(data), region.Volume())
+	}
+	return nil
+}
+
+// PutConcurrent exposes one block of a variable for direct pulls by a
+// concurrently running consumer. The data slice is owned by the space
+// afterwards. Consumers locate it through the producer's decomposition, so
+// region must be a maximal owned block of the producer's decomposition.
+func (h *Handle) PutConcurrent(v string, version int, region geometry.BBox, data []float64) error {
+	if err := validatePut(v, region, data); err != nil {
+		return err
+	}
+	if err := h.sp.reserve(h.core, region.Volume()*ElemSize); err != nil {
+		return err
+	}
+	obj := &StoredObject{Region: region.Clone(), Data: data}
+	if err := h.endpoint().Expose(bufKey(v, region, version), obj); err != nil {
+		h.sp.release(h.core, region.Volume()*ElemSize)
+		return err
+	}
+	return nil
+}
+
+// ProducerInfo tells a concurrent consumer how the producer's data is laid
+// out: its decomposition, and where each of its ranks runs.
+type ProducerInfo struct {
+	Decomp *decomp.Decomposition
+	CoreOf func(rank int) cluster.CoreID
+}
+
+// GetConcurrent retrieves the cells of region for a variable directly from
+// the concurrently running producer described by info, blocking until the
+// producer has exposed the needed blocks. The result is row-major over
+// region.
+func (h *Handle) GetConcurrent(info ProducerInfo, v string, version int, region geometry.BBox) ([]float64, error) {
+	if region.Empty() {
+		return nil, fmt.Errorf("cods: empty get region for %q", v)
+	}
+	key := "cont|" + v + "|" + region.String()
+	sched, ok := h.cachedSchedule(key)
+	if !ok {
+		sched = h.concurrentSchedule(info, region)
+		h.storeSchedule(key, sched)
+	}
+	return h.pull(v, version, region, sched)
+}
+
+// concurrentSchedule computes the transfer list against the producer's
+// decomposition: for every producer rank owning part of the region, one
+// transfer per maximal stored block intersected with the region.
+func (h *Handle) concurrentSchedule(info ProducerInfo, region geometry.BBox) []transfer {
+	var sched []transfer
+	dc := info.Decomp
+	for rank := 0; rank < dc.NumTasks(); rank++ {
+		for _, sub := range dc.Pieces(rank, region) {
+			stored := dc.BlockContaining(sub.Min)
+			sched = append(sched, transfer{
+				Owner:     info.CoreOf(rank),
+				StoredBox: stored,
+				Sub:       sub,
+			})
+		}
+	}
+	return sched
+}
+
+// PutSequential stores one block of a variable in the space: the data
+// stays in this core's memory, is exposed for remote pulls, and its
+// location is registered with the lookup service so consumers launched
+// after this application completes can find it.
+func (h *Handle) PutSequential(v string, version int, region geometry.BBox, data []float64) error {
+	if err := validatePut(v, region, data); err != nil {
+		return err
+	}
+	if err := h.sp.reserve(h.core, region.Volume()*ElemSize); err != nil {
+		return err
+	}
+	obj := &StoredObject{Region: region.Clone(), Data: data}
+	if err := h.endpoint().Expose(bufKey(v, region, version), obj); err != nil {
+		h.sp.release(h.core, region.Volume()*ElemSize)
+		return err
+	}
+	cl := h.sp.lookup.ClientAt(h.core)
+	return cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
+}
+
+// GetSequential retrieves the cells of region for a variable from the
+// space's distributed storage, using the lookup service to build the
+// communication schedule. The result is row-major over region.
+func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]float64, error) {
+	if region.Empty() {
+		return nil, fmt.Errorf("cods: empty get region for %q", v)
+	}
+	key := "seq|" + v + "|" + region.String()
+	sched, ok := h.cachedSchedule(key)
+	if !ok {
+		var err error
+		sched, err = h.sequentialSchedule(v, version, region)
+		if err != nil {
+			return nil, err
+		}
+		h.storeSchedule(key, sched)
+	}
+	return h.pull(v, version, region, sched)
+}
+
+// sequentialSchedule queries the lookup service and converts the location
+// entries into a transfer list covering the region exactly.
+func (h *Handle) sequentialSchedule(v string, version int, region geometry.BBox) ([]transfer, error) {
+	entries, err := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region)
+	if err != nil {
+		return nil, err
+	}
+	var sched []transfer
+	var covered int64
+	for _, e := range entries {
+		sub, ok := e.Region.Intersect(region)
+		if !ok {
+			continue
+		}
+		covered += sub.Volume()
+		sched = append(sched, transfer{Owner: e.Owner, StoredBox: e.Region, Sub: sub})
+	}
+	if covered != region.Volume() {
+		return nil, fmt.Errorf("cods: %q v%d: stored data covers %d of %d cells of %v",
+			v, version, covered, region.Volume(), region)
+	}
+	// Deterministic pull order.
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].Owner != sched[j].Owner {
+			return sched[i].Owner < sched[j].Owner
+		}
+		return sched[i].Sub.String() < sched[j].Sub.String()
+	})
+	return sched, nil
+}
+
+// pull executes a schedule: a receiver-driven pull of every piece,
+// assembling the row-major result.
+func (h *Handle) pull(v string, version int, region geometry.BBox, sched []transfer) ([]float64, error) {
+	out := make([]float64, region.Volume())
+	m := h.meter()
+	for _, tr := range sched {
+		tr := tr
+		err := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
+			tr.Sub.Volume()*ElemSize, func(payload any) {
+				obj := payload.(*StoredObject)
+				copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
+			})
+		if err != nil {
+			return nil, fmt.Errorf("cods: pulling %v of %q v%d from core %d: %w",
+				tr.Sub, v, version, tr.Owner, err)
+		}
+	}
+	return out, nil
+}
+
+// Exists reports whether any data of the variable version overlapping
+// region has been registered with the lookup service. It is the
+// coordination primitive sequentially coupled applications use to test for
+// their input without blocking.
+func (h *Handle) Exists(v string, version int, region geometry.BBox) (bool, error) {
+	if region.Empty() {
+		return false, fmt.Errorf("cods: empty region for %q", v)
+	}
+	entries, err := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region)
+	if err != nil {
+		return false, err
+	}
+	return len(entries) > 0, nil
+}
+
+// TryGetSequential is GetSequential without blocking semantics: when the
+// stored data does not (yet) cover the region it returns (nil, false, nil)
+// instead of an error, so pollers can retry.
+func (h *Handle) TryGetSequential(v string, version int, region geometry.BBox) ([]float64, bool, error) {
+	if region.Empty() {
+		return nil, false, fmt.Errorf("cods: empty get region for %q", v)
+	}
+	key := "seq|" + v + "|" + region.String()
+	sched, ok := h.cachedSchedule(key)
+	if !ok {
+		var err error
+		sched, err = h.sequentialSchedule(v, version, region)
+		if err != nil {
+			// Incomplete coverage is the retry case; other errors are
+			// real.
+			if _, qerr := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region); qerr != nil {
+				return nil, false, qerr
+			}
+			return nil, false, nil
+		}
+		h.storeSchedule(key, sched)
+	}
+	out, err := h.pull(v, version, region, sched)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// Discard withdraws a previously put block so its memory slot can be
+// reused (between iterations).
+func (h *Handle) Discard(v string, version int, region geometry.BBox) {
+	if h.endpoint().Exposed(bufKey(v, region, version)) {
+		h.sp.release(h.core, region.Volume()*ElemSize)
+	}
+	h.endpoint().Unexpose(bufKey(v, region, version))
+}
+
+// DiscardSequential garbage-collects a sequentially stored block: the
+// buffer is withdrawn, its staging memory freed and its location record
+// removed from the lookup service, so later gets of that version fail
+// with a coverage error instead of pulling stale data. Iterative
+// producers call it on versions no consumer will read again.
+func (h *Handle) DiscardSequential(v string, version int, region geometry.BBox) error {
+	h.Discard(v, version, region)
+	return h.sp.lookup.ClientAt(h.core).Remove(h.phase, h.app,
+		dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
+}
+
+func (h *Handle) cachedSchedule(key string) ([]transfer, bool) {
+	if !h.CacheEnabled {
+		return nil, false
+	}
+	sched, ok := h.schedCache[key]
+	if ok {
+		h.CacheHits++
+	}
+	return sched, ok
+}
+
+func (h *Handle) storeSchedule(key string, sched []transfer) {
+	h.CacheMisses++
+	if h.CacheEnabled {
+		h.schedCache[key] = sched
+	}
+}
+
+// copyRegion copies the cells of sub from src (row-major over srcBox) to
+// dst (row-major over dstBox) using contiguous runs along the last
+// dimension.
+func copyRegion(dst []float64, dstBox geometry.BBox, src []float64, srcBox geometry.BBox, sub geometry.BBox) {
+	if sub.Empty() {
+		return
+	}
+	dim := sub.Dim()
+	last := dim - 1
+	runLen := sub.Size(last)
+	// Iterate over all coordinates of sub except the last dimension.
+	p := sub.Min.Clone()
+	for {
+		so := srcBox.Offset(p)
+		do := dstBox.Offset(p)
+		copy(dst[do:do+int64(runLen)], src[so:so+int64(runLen)])
+		// Odometer over dims 0..last-1.
+		d := last - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < sub.Max[d] {
+				break
+			}
+			p[d] = sub.Min[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package core documents where the paper's primary contribution lives in
+// this repository. The "distributed data sharing and task execution
+// framework" is not one package but three cooperating ones:
+//
+//   - internal/cods — the Co-located DataSpaces shared-space abstraction
+//     (the data sharing half: put/get operators, communication schedules,
+//     receiver-driven pulls, the DHT-backed lookup service);
+//   - internal/mapping — the data-centric task placement (the server-side
+//     graph-partitioned mapping for concurrent bundles, the client-side
+//     locality mapping for sequential consumers, and the baselines);
+//   - internal/runtime — the workflow management server and execution
+//     clients that tie mapping, coloring (CommSplit) and application
+//     launch together.
+//
+// Everything else under internal/ is substrate (see DESIGN.md for the
+// full inventory); the root package cods is the public facade.
+package core

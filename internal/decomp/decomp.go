@@ -1,0 +1,514 @@
+// Package decomp describes how a regular multi-dimensional data domain is
+// decomposed across the computation tasks of a data-parallel application.
+//
+// Following Section III-B of the paper, a decomposition is specified by the
+// domain size (s1..sn), the process layout (p1..pn), a distribution kind and
+// a block size. Three distribution kinds are supported: standard blocked,
+// cyclic and block-cyclic. Ranks map to process-grid coordinates in
+// row-major order (last dimension fastest).
+//
+// All distributions are tensor products of per-dimension 1-D distributions,
+// which the package exploits: the overlap volume between a task of one
+// application and a task of another factors into per-dimension overlap
+// counts (OverlapMatrix), so the full M x N inter-application communication
+// graph is computable without enumerating cells.
+package decomp
+
+import (
+	"fmt"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// Kind identifies a data distribution type.
+type Kind int
+
+// The three distribution types from the paper.
+const (
+	Blocked Kind = iota
+	Cyclic
+	BlockCyclic
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Blocked:
+		return "blocked"
+	case Cyclic:
+		return "cyclic"
+	case BlockCyclic:
+		return "block-cyclic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind converts a distribution name to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "blocked":
+		return Blocked, nil
+	case "cyclic":
+		return Cyclic, nil
+	case "block-cyclic", "blockcyclic":
+		return BlockCyclic, nil
+	}
+	return 0, fmt.Errorf("decomp: unknown distribution kind %q", s)
+}
+
+// Interval is a half-open 1-D range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int
+}
+
+// Decomposition maps the cells of a domain onto the ranks of a process
+// grid.
+type Decomposition struct {
+	domain geometry.BBox
+	grid   []int
+	kind   Kind
+	block  []int // block size per dimension (BlockCyclic); 1 for Cyclic
+}
+
+// New creates a decomposition of domain across a process grid. block is the
+// per-dimension block size and is only consulted for BlockCyclic (Cyclic
+// always uses block 1; Blocked ignores it). Passing nil block for
+// BlockCyclic is an error.
+func New(kind Kind, domain geometry.BBox, grid []int, block []int) (*Decomposition, error) {
+	if domain.Empty() {
+		return nil, fmt.Errorf("decomp: empty domain %v", domain)
+	}
+	if len(grid) != domain.Dim() {
+		return nil, fmt.Errorf("decomp: grid rank %d != domain dimension %d", len(grid), domain.Dim())
+	}
+	for d, p := range grid {
+		if p < 1 {
+			return nil, fmt.Errorf("decomp: grid[%d] = %d < 1", d, p)
+		}
+		if p > domain.Size(d) {
+			return nil, fmt.Errorf("decomp: grid[%d] = %d exceeds domain extent %d", d, p, domain.Size(d))
+		}
+	}
+	dc := &Decomposition{domain: domain.Clone(), grid: append([]int(nil), grid...), kind: kind}
+	switch kind {
+	case Blocked:
+		dc.block = nil
+	case Cyclic:
+		dc.block = make([]int, len(grid))
+		for d := range dc.block {
+			dc.block[d] = 1
+		}
+	case BlockCyclic:
+		if len(block) != domain.Dim() {
+			return nil, fmt.Errorf("decomp: block rank %d != domain dimension %d", len(block), domain.Dim())
+		}
+		for d, b := range block {
+			if b < 1 {
+				return nil, fmt.Errorf("decomp: block[%d] = %d < 1", d, b)
+			}
+		}
+		dc.block = append([]int(nil), block...)
+	default:
+		return nil, fmt.Errorf("decomp: unknown kind %d", int(kind))
+	}
+	return dc, nil
+}
+
+// Domain returns the decomposed domain.
+func (dc *Decomposition) Domain() geometry.BBox { return dc.domain.Clone() }
+
+// Grid returns the process layout.
+func (dc *Decomposition) Grid() []int { return append([]int(nil), dc.grid...) }
+
+// Kind returns the distribution type.
+func (dc *Decomposition) Kind() Kind { return dc.kind }
+
+// NumTasks returns the number of ranks (the product of the process grid).
+func (dc *Decomposition) NumTasks() int {
+	n := 1
+	for _, p := range dc.grid {
+		n *= p
+	}
+	return n
+}
+
+// GridCoord converts a rank to its process-grid coordinate (row-major, last
+// dimension fastest).
+func (dc *Decomposition) GridCoord(rank int) []int {
+	if rank < 0 || rank >= dc.NumTasks() {
+		panic(fmt.Sprintf("decomp: rank %d out of range [0,%d)", rank, dc.NumTasks()))
+	}
+	coord := make([]int, len(dc.grid))
+	for d := len(dc.grid) - 1; d >= 0; d-- {
+		coord[d] = rank % dc.grid[d]
+		rank /= dc.grid[d]
+	}
+	return coord
+}
+
+// RankOf converts a process-grid coordinate back to a rank.
+func (dc *Decomposition) RankOf(coord []int) int {
+	if len(coord) != len(dc.grid) {
+		panic("decomp: coordinate rank mismatch")
+	}
+	rank := 0
+	for d := 0; d < len(dc.grid); d++ {
+		if coord[d] < 0 || coord[d] >= dc.grid[d] {
+			panic(fmt.Sprintf("decomp: grid coordinate %v outside grid %v", coord, dc.grid))
+		}
+		rank = rank*dc.grid[d] + coord[d]
+	}
+	return rank
+}
+
+// ownerOf1D returns the grid coordinate owning relative index g (g is the
+// offset from the domain lower bound) in dimension d.
+func (dc *Decomposition) ownerOf1D(d, g int) int {
+	p := dc.grid[d]
+	switch dc.kind {
+	case Blocked:
+		s := dc.domain.Size(d)
+		// Balanced blocked split: coordinate c owns [c*s/p, (c+1)*s/p).
+		// Invert with a direct formula then adjust for rounding.
+		c := (g*p + p - 1) / s
+		for c > 0 && blockLo(c, s, p) > g {
+			c--
+		}
+		for c < p-1 && blockLo(c+1, s, p) <= g {
+			c++
+		}
+		return c
+	case Cyclic:
+		return g % p
+	case BlockCyclic:
+		return (g / dc.block[d]) % p
+	}
+	panic("decomp: unknown kind")
+}
+
+// blockLo returns the inclusive start of blocked chunk c for extent s over
+// p processes.
+func blockLo(c, s, p int) int { return c * s / p }
+
+// OwnerOf returns the rank owning cell p of the domain.
+func (dc *Decomposition) OwnerOf(pt geometry.Point) int {
+	if !dc.domain.Contains(pt) {
+		panic(fmt.Sprintf("decomp: point %v outside domain %v", pt, dc.domain))
+	}
+	coord := make([]int, len(dc.grid))
+	for d := range coord {
+		coord[d] = dc.ownerOf1D(d, pt[d]-dc.domain.Min[d])
+	}
+	return dc.RankOf(coord)
+}
+
+// Intervals returns the 1-D intervals (in absolute domain coordinates) of
+// dimension d owned by grid coordinate c, clipped to [lo, hi). lo and hi
+// are absolute coordinates.
+func (dc *Decomposition) Intervals(d, c, lo, hi int) []Interval {
+	base := dc.domain.Min[d]
+	s := dc.domain.Size(d)
+	p := dc.grid[d]
+	if lo < base {
+		lo = base
+	}
+	if hi > base+s {
+		hi = base + s
+	}
+	if lo >= hi {
+		return nil
+	}
+	switch dc.kind {
+	case Blocked:
+		a := base + blockLo(c, s, p)
+		b := base + blockLo(c+1, s, p)
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			return nil
+		}
+		return []Interval{{a, b}}
+	case Cyclic, BlockCyclic:
+		bs := dc.block[d]
+		stride := bs * p
+		// Blocks of coordinate c start (relative to base) at c*bs + q*stride
+		// for q = 0,1,... Find the first q whose block reaches past lo.
+		relLo := lo - base
+		q := 0
+		if over := relLo - c*bs - bs; over >= 0 {
+			q = over/stride + 1
+		}
+		var out []Interval
+		for start := base + c*bs + q*stride; start < hi; start += stride {
+			a, b := start, start+bs
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if a < b {
+				out = append(out, Interval{a, b})
+			}
+		}
+		return out
+	}
+	panic("decomp: unknown kind")
+}
+
+// Pieces returns the disjoint boxes of rank's owned region intersected with
+// the box within. The result is empty when the rank owns nothing inside
+// within.
+func (dc *Decomposition) Pieces(rank int, within geometry.BBox) []geometry.BBox {
+	q, ok := within.Intersect(dc.domain)
+	if !ok {
+		return nil
+	}
+	coord := dc.GridCoord(rank)
+	perDim := make([][]Interval, dc.domain.Dim())
+	for d := range perDim {
+		perDim[d] = dc.Intervals(d, coord[d], q.Min[d], q.Max[d])
+		if len(perDim[d]) == 0 {
+			return nil
+		}
+	}
+	// Cartesian product of per-dimension intervals.
+	var out []geometry.BBox
+	idx := make([]int, len(perDim))
+	for {
+		min := make(geometry.Point, len(perDim))
+		max := make(geometry.Point, len(perDim))
+		for d := range perDim {
+			iv := perDim[d][idx[d]]
+			min[d], max[d] = iv.Lo, iv.Hi
+		}
+		out = append(out, geometry.BBox{Min: min, Max: max})
+		d := len(perDim) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(perDim[d]) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// Region returns all boxes owned by rank across the whole domain. For
+// Blocked this is a single box; for (block-)cyclic it may be many.
+func (dc *Decomposition) Region(rank int) []geometry.BBox {
+	return dc.Pieces(rank, dc.domain)
+}
+
+// OwnedVolume returns the number of cells owned by rank.
+func (dc *Decomposition) OwnedVolume(rank int) int64 {
+	coord := dc.GridCoord(rank)
+	v := int64(1)
+	for d := range dc.grid {
+		var n int64
+		for _, iv := range dc.Intervals(d, coord[d], dc.domain.Min[d], dc.domain.Max[d]) {
+			n += int64(iv.Hi - iv.Lo)
+		}
+		v *= n
+	}
+	return v
+}
+
+// GhostRegions returns, for each owned box of rank, the box expanded by a
+// ghost (halo) margin of the given width, clipped to the domain. Consumer
+// applications use these to retrieve their region of interest including
+// the boundary cells their stencils need.
+func (dc *Decomposition) GhostRegions(rank, width int) []geometry.BBox {
+	owned := dc.Region(rank)
+	out := make([]geometry.BBox, len(owned))
+	for i, b := range owned {
+		out[i] = b.Expand(width, dc.domain)
+	}
+	return out
+}
+
+// BlockContaining returns the maximal owned tensor block that contains
+// point pt: the box whose per-dimension extent is the full owned interval
+// of the owning rank around pt. Producers store (and expose) data at this
+// block granularity, and consumers use the same function to derive the
+// buffer key for a cell they need.
+func (dc *Decomposition) BlockContaining(pt geometry.Point) geometry.BBox {
+	if !dc.domain.Contains(pt) {
+		panic(fmt.Sprintf("decomp: point %v outside domain %v", pt, dc.domain))
+	}
+	min := make(geometry.Point, len(dc.grid))
+	max := make(geometry.Point, len(dc.grid))
+	for d := range dc.grid {
+		base := dc.domain.Min[d]
+		s := dc.domain.Size(d)
+		p := dc.grid[d]
+		g := pt[d] - base
+		switch dc.kind {
+		case Blocked:
+			c := dc.ownerOf1D(d, g)
+			min[d] = base + blockLo(c, s, p)
+			max[d] = base + blockLo(c+1, s, p)
+		case Cyclic, BlockCyclic:
+			bs := dc.block[d]
+			start := g - g%bs
+			min[d] = base + start
+			max[d] = base + start + bs
+			if max[d] > base+s {
+				max[d] = base + s
+			}
+		}
+	}
+	return geometry.BBox{Min: min, Max: max}
+}
+
+// Overlap answers rank-pair overlap-volume queries between two
+// decompositions of the same domain without materializing the full
+// num_task x num_task matrix.
+//
+// Because both distributions are tensor products, the overlap factors per
+// dimension: a joint ownership histogram is computed along each axis in
+// O(extent) time and the rank-pair volume is the product of the per-axis
+// counts. This is what makes building paper-scale (8192-task)
+// communication graphs cheap.
+type Overlap struct {
+	a, b  *Decomposition
+	joint [][]int64 // joint[d][ca*pb+cb]
+}
+
+// NewOverlap prepares overlap queries between decompositions a and b,
+// which must decompose the same domain.
+func NewOverlap(a, b *Decomposition) (*Overlap, error) {
+	if !a.domain.Equal(b.domain) {
+		return nil, fmt.Errorf("decomp: overlap requires identical domains, got %v and %v", a.domain, b.domain)
+	}
+	dim := a.domain.Dim()
+	joint := make([][]int64, dim)
+	for d := 0; d < dim; d++ {
+		pa, pb := a.grid[d], b.grid[d]
+		j := make([]int64, pa*pb)
+		for g := 0; g < a.domain.Size(d); g++ {
+			ca := a.ownerOf1D(d, g)
+			cb := b.ownerOf1D(d, g)
+			j[ca*pb+cb]++
+		}
+		joint[d] = j
+	}
+	return &Overlap{a: a, b: b, joint: joint}, nil
+}
+
+// A returns the first decomposition of the pair.
+func (o *Overlap) A() *Decomposition { return o.a }
+
+// B returns the second decomposition of the pair.
+func (o *Overlap) B() *Decomposition { return o.b }
+
+// Volume returns the overlap in cells between rank ra of a and rank rb of
+// b.
+func (o *Overlap) Volume(ra, rb int) int64 {
+	coordA := o.a.GridCoord(ra)
+	coordB := o.b.GridCoord(rb)
+	v := int64(1)
+	for d := range o.joint {
+		v *= o.joint[d][coordA[d]*o.b.grid[d]+coordB[d]]
+		if v == 0 {
+			return 0
+		}
+	}
+	return v
+}
+
+// EachPair invokes fn for every rank pair with a non-zero overlap volume.
+// Only non-zero combinations are enumerated: per dimension the overlapping
+// grid-coordinate pairs are indexed up front, so a sparse coupling (e.g.
+// blocked vs blocked, where each consumer touches a handful of producers)
+// costs O(number of overlapping pairs), not O(na x nb).
+func (o *Overlap) EachPair(fn func(ra, rb int, vol int64)) {
+	dim := len(o.joint)
+	// nz[d][ca] lists the b-coordinates overlapping a-coordinate ca in
+	// dimension d.
+	type entry struct {
+		cb  int
+		vol int64
+	}
+	nz := make([][][]entry, dim)
+	for d := 0; d < dim; d++ {
+		pa, pb := o.a.grid[d], o.b.grid[d]
+		nz[d] = make([][]entry, pa)
+		for ca := 0; ca < pa; ca++ {
+			for cb := 0; cb < pb; cb++ {
+				if v := o.joint[d][ca*pb+cb]; v > 0 {
+					nz[d][ca] = append(nz[d][ca], entry{cb: cb, vol: v})
+				}
+			}
+		}
+	}
+	na := o.a.NumTasks()
+	var walk func(ra int, coordA []int, d, rbPrefix int, vol int64)
+	walk = func(ra int, coordA []int, d, rbPrefix int, vol int64) {
+		if d == dim {
+			fn(ra, rbPrefix, vol)
+			return
+		}
+		for _, e := range nz[d][coordA[d]] {
+			walk(ra, coordA, d+1, rbPrefix*o.b.grid[d]+e.cb, vol*e.vol)
+		}
+	}
+	for ra := 0; ra < na; ra++ {
+		walk(ra, o.a.GridCoord(ra), 0, 0, 1)
+	}
+}
+
+// OverlapMatrix computes the dense overlap matrix:
+// result[ra][rb] = overlap volume of region_a(ra) and region_b(rb).
+// Prefer Overlap for large task counts.
+func OverlapMatrix(a, b *Decomposition) ([][]int64, error) {
+	o, err := NewOverlap(a, b)
+	if err != nil {
+		return nil, err
+	}
+	na, nb := a.NumTasks(), b.NumTasks()
+	out := make([][]int64, na)
+	for ra := 0; ra < na; ra++ {
+		out[ra] = make([]int64, nb)
+	}
+	o.EachPair(func(ra, rb int, vol int64) {
+		out[ra][rb] = vol
+	})
+	return out, nil
+}
+
+// FanOut returns, for each rank of consumer, how many producer ranks its
+// owned region overlaps. This is the 1-to-N effect of Figure 10: with
+// matching distributions the fan-out stays small, with mismatched ones it
+// approaches the producer task count.
+func FanOut(consumer, producer *Decomposition) ([]int, error) {
+	m, err := OverlapMatrix(consumer, producer)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(m))
+	for rc := range m {
+		n := 0
+		for _, v := range m[rc] {
+			if v > 0 {
+				n++
+			}
+		}
+		out[rc] = n
+	}
+	return out, nil
+}
+
+// String describes the decomposition.
+func (dc *Decomposition) String() string {
+	return fmt.Sprintf("%s domain=%v grid=%v block=%v", dc.kind, dc.domain, dc.grid, dc.block)
+}

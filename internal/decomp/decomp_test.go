@@ -1,0 +1,383 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+func mustNew(t testing.TB, kind Kind, size, grid, block []int) *Decomposition {
+	t.Helper()
+	dc, err := New(kind, geometry.BoxFromSize(size), grid, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestNewValidation(t *testing.T) {
+	dom := geometry.BoxFromSize([]int{8, 8})
+	if _, err := New(Blocked, dom, []int{2}, nil); err == nil {
+		t.Error("grid rank mismatch accepted")
+	}
+	if _, err := New(Blocked, dom, []int{2, 0}, nil); err == nil {
+		t.Error("zero grid extent accepted")
+	}
+	if _, err := New(Blocked, dom, []int{2, 16}, nil); err == nil {
+		t.Error("grid larger than domain accepted")
+	}
+	if _, err := New(BlockCyclic, dom, []int{2, 2}, nil); err == nil {
+		t.Error("block-cyclic without block size accepted")
+	}
+	if _, err := New(BlockCyclic, dom, []int{2, 2}, []int{2, 0}); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := New(Blocked, geometry.NewBBox(geometry.Point{0}, geometry.Point{0}), []int{1}, nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, c := range []struct {
+		k    Kind
+		want string
+	}{{Blocked, "blocked"}, {Cyclic, "cyclic"}, {BlockCyclic, "block-cyclic"}} {
+		if c.k.String() != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.k), c.k.String(), c.want)
+		}
+		back, err := ParseKind(c.want)
+		if err != nil || back != c.k {
+			t.Errorf("ParseKind(%q) = %v, %v", c.want, back, err)
+		}
+	}
+	if _, err := ParseKind("fancy"); err == nil {
+		t.Error("unknown kind parsed")
+	}
+}
+
+func TestRankCoordRoundTrip(t *testing.T) {
+	dc := mustNew(t, Blocked, []int{12, 8, 10}, []int{3, 2, 5}, nil)
+	if dc.NumTasks() != 30 {
+		t.Fatalf("NumTasks = %d", dc.NumTasks())
+	}
+	for r := 0; r < dc.NumTasks(); r++ {
+		if got := dc.RankOf(dc.GridCoord(r)); got != r {
+			t.Fatalf("RankOf(GridCoord(%d)) = %d", r, got)
+		}
+	}
+	// Row-major: last dim fastest.
+	c := dc.GridCoord(1)
+	if c[0] != 0 || c[1] != 0 || c[2] != 1 {
+		t.Fatalf("GridCoord(1) = %v, want last dim fastest", c)
+	}
+}
+
+// everyCellOwnedOnce verifies the partition property: each domain cell is
+// owned by exactly one rank, and is inside exactly one Region box of that
+// rank.
+func everyCellOwnedOnce(t *testing.T, dc *Decomposition) {
+	t.Helper()
+	regions := make([][]geometry.BBox, dc.NumTasks())
+	var total int64
+	for r := range regions {
+		regions[r] = dc.Region(r)
+		if !geometry.Disjoint(regions[r]) {
+			t.Fatalf("rank %d region has overlapping boxes", r)
+		}
+		total += geometry.TotalVolume(regions[r])
+		if geometry.TotalVolume(regions[r]) != dc.OwnedVolume(r) {
+			t.Fatalf("rank %d OwnedVolume = %d, region volume = %d",
+				r, dc.OwnedVolume(r), geometry.TotalVolume(regions[r]))
+		}
+	}
+	if total != dc.Domain().Volume() {
+		t.Fatalf("regions cover %d cells, domain has %d", total, dc.Domain().Volume())
+	}
+	dc.Domain().Each(func(p geometry.Point) {
+		owner := dc.OwnerOf(p)
+		found := false
+		for _, b := range regions[owner] {
+			if b.Contains(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("cell %v: owner %d's region does not contain it", p, owner)
+		}
+	})
+}
+
+func TestPartitionPropertyBlocked(t *testing.T) {
+	everyCellOwnedOnce(t, mustNew(t, Blocked, []int{10, 7}, []int{3, 2}, nil))
+}
+
+func TestPartitionPropertyCyclic(t *testing.T) {
+	everyCellOwnedOnce(t, mustNew(t, Cyclic, []int{10, 7}, []int{3, 2}, nil))
+}
+
+func TestPartitionPropertyBlockCyclic(t *testing.T) {
+	everyCellOwnedOnce(t, mustNew(t, BlockCyclic, []int{12, 9}, []int{2, 3}, []int{2, 2}))
+}
+
+func TestPartitionPropertyBlockCyclicUneven(t *testing.T) {
+	// Extents not divisible by block*grid exercise the clipping paths.
+	everyCellOwnedOnce(t, mustNew(t, BlockCyclic, []int{11, 13}, []int{2, 2}, []int{3, 4}))
+}
+
+func TestPartitionProperty3D(t *testing.T) {
+	everyCellOwnedOnce(t, mustNew(t, Blocked, []int{6, 5, 4}, []int{2, 1, 2}, nil))
+	everyCellOwnedOnce(t, mustNew(t, Cyclic, []int{6, 5, 4}, []int{2, 1, 2}, nil))
+}
+
+func TestPartitionPropertyOffsetDomain(t *testing.T) {
+	dom := geometry.NewBBox(geometry.Point{5, -3}, geometry.Point{15, 6})
+	dc, err := New(BlockCyclic, dom, []int{2, 3}, []int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	everyCellOwnedOnce(t, dc)
+}
+
+func TestBlockedRegionsAreSingleBoxes(t *testing.T) {
+	dc := mustNew(t, Blocked, []int{16, 16}, []int{4, 4}, nil)
+	for r := 0; r < dc.NumTasks(); r++ {
+		if rg := dc.Region(r); len(rg) != 1 {
+			t.Fatalf("blocked rank %d has %d boxes", r, len(rg))
+		}
+	}
+}
+
+func TestBlockedBalanced(t *testing.T) {
+	dc := mustNew(t, Blocked, []int{10}, []int{3}, nil)
+	vols := []int64{dc.OwnedVolume(0), dc.OwnedVolume(1), dc.OwnedVolume(2)}
+	for _, v := range vols {
+		if v < 3 || v > 4 {
+			t.Fatalf("unbalanced blocked volumes: %v", vols)
+		}
+	}
+}
+
+func TestPiecesClipping(t *testing.T) {
+	dc := mustNew(t, Cyclic, []int{8}, []int{4}, nil)
+	// Rank 1 owns cells 1, 5. Query [4, 8) should return only cell 5.
+	pieces := dc.Pieces(1, geometry.NewBBox(geometry.Point{4}, geometry.Point{8}))
+	if len(pieces) != 1 || pieces[0].Min[0] != 5 || pieces[0].Max[0] != 6 {
+		t.Fatalf("Pieces = %v", pieces)
+	}
+	// Disjoint query.
+	if p := dc.Pieces(1, geometry.NewBBox(geometry.Point{100}, geometry.Point{200})); p != nil {
+		t.Fatalf("disjoint query returned %v", p)
+	}
+}
+
+func TestOwnerOfOutsidePanics(t *testing.T) {
+	dc := mustNew(t, Blocked, []int{4}, []int{2}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	dc.OwnerOf(geometry.Point{4})
+}
+
+func TestBlockContaining(t *testing.T) {
+	decomps := []*Decomposition{
+		mustNew(t, Blocked, []int{10, 7}, []int{3, 2}, nil),
+		mustNew(t, Cyclic, []int{10, 7}, []int{3, 2}, nil),
+		mustNew(t, BlockCyclic, []int{11, 9}, []int{2, 2}, []int{3, 2}),
+	}
+	for _, dc := range decomps {
+		dc.Domain().Each(func(p geometry.Point) {
+			blk := dc.BlockContaining(p)
+			if !blk.Contains(p) {
+				t.Fatalf("%v: block %v does not contain %v", dc, blk, p)
+			}
+			owner := dc.OwnerOf(p)
+			// The whole block must belong to the same owner, and the block
+			// must be one of the owner's maximal pieces.
+			blk.Each(func(q geometry.Point) {
+				if dc.OwnerOf(q) != owner {
+					t.Fatalf("%v: block %v spans owners", dc, blk)
+				}
+			})
+			found := false
+			for _, piece := range dc.Region(owner) {
+				if piece.Equal(blk) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%v: block %v of %v is not a maximal piece of rank %d (%v)",
+					dc, blk, p, owner, dc.Region(owner))
+			}
+		})
+	}
+}
+
+func TestOverlapMatrixAgainstBruteForce(t *testing.T) {
+	cases := []struct{ a, b *Decomposition }{
+		{mustNew(t, Blocked, []int{12, 10}, []int{3, 2}, nil), mustNew(t, Blocked, []int{12, 10}, []int{2, 2}, nil)},
+		{mustNew(t, Blocked, []int{12, 10}, []int{3, 2}, nil), mustNew(t, Cyclic, []int{12, 10}, []int{2, 3}, nil)},
+		{mustNew(t, BlockCyclic, []int{12, 10}, []int{2, 2}, []int{3, 2}), mustNew(t, Cyclic, []int{12, 10}, []int{3, 2}, nil)},
+	}
+	for ci, c := range cases {
+		m, err := OverlapMatrix(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := make([][]int64, c.a.NumTasks())
+		for i := range brute {
+			brute[i] = make([]int64, c.b.NumTasks())
+		}
+		c.a.Domain().Each(func(p geometry.Point) {
+			brute[c.a.OwnerOf(p)][c.b.OwnerOf(p)]++
+		})
+		for i := range brute {
+			for j := range brute[i] {
+				if m[i][j] != brute[i][j] {
+					t.Fatalf("case %d: overlap[%d][%d] = %d, brute force = %d", ci, i, j, m[i][j], brute[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestOverlapMatrixDomainMismatch(t *testing.T) {
+	a := mustNew(t, Blocked, []int{8}, []int{2}, nil)
+	b := mustNew(t, Blocked, []int{10}, []int{2}, nil)
+	if _, err := OverlapMatrix(a, b); err == nil {
+		t.Fatal("mismatched domains accepted")
+	}
+}
+
+func TestFanOutMatchingVsMismatched(t *testing.T) {
+	size := []int{32, 32}
+	prodB := mustNew(t, Blocked, size, []int{4, 4}, nil)
+	consB := mustNew(t, Blocked, size, []int{2, 2}, nil)
+	consC := mustNew(t, Cyclic, size, []int{2, 2}, nil)
+
+	matched, err := FanOut(consB, prodB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := FanOut(consC, prodB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range matched {
+		// Matching blocked/blocked: each consumer block covers a 2x2 set of
+		// producer blocks.
+		if matched[r] != 4 {
+			t.Fatalf("matched fan-out[%d] = %d, want 4", r, matched[r])
+		}
+		// Cyclic consumer touches every producer rank.
+		if mismatched[r] != prodB.NumTasks() {
+			t.Fatalf("mismatched fan-out[%d] = %d, want %d", r, mismatched[r], prodB.NumTasks())
+		}
+	}
+}
+
+func TestQuickPiecesMatchOwnerOf(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	kinds := []Kind{Blocked, Cyclic, BlockCyclic}
+	f := func() bool {
+		kind := kinds[r.Intn(len(kinds))]
+		size := []int{4 + r.Intn(12), 4 + r.Intn(12)}
+		grid := []int{1 + r.Intn(3), 1 + r.Intn(3)}
+		block := []int{1 + r.Intn(3), 1 + r.Intn(3)}
+		dc, err := New(kind, geometry.BoxFromSize(size), grid, block)
+		if err != nil {
+			return false
+		}
+		// A random query window.
+		lo := geometry.Point{r.Intn(size[0]), r.Intn(size[1])}
+		hi := geometry.Point{lo[0] + 1 + r.Intn(size[0]-lo[0]), lo[1] + 1 + r.Intn(size[1]-lo[1])}
+		q := geometry.NewBBox(lo, hi)
+		// Union of all ranks' pieces within q must partition q.
+		var vol int64
+		owned := map[string]int{}
+		for rank := 0; rank < dc.NumTasks(); rank++ {
+			for _, b := range dc.Pieces(rank, q) {
+				vol += b.Volume()
+				rank := rank
+				b.Each(func(p geometry.Point) {
+					owned[p.String()] = rank
+				})
+			}
+		}
+		if vol != q.Volume() {
+			return false
+		}
+		okAll := true
+		q.Each(func(p geometry.Point) {
+			if owned[p.String()] != dc.OwnerOf(p) {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOverlapMatrixPaperScale(b *testing.B) {
+	// CAP1 512 tasks x CAP2 64 tasks over a 1024^3 domain.
+	dom := geometry.BoxFromSize([]int{1024, 1024, 1024})
+	a, err := New(Blocked, dom, []int{8, 8, 8}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(Blocked, dom, []int{4, 4, 4}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OverlapMatrix(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPiecesCyclic(b *testing.B) {
+	dc := mustNew(b, Cyclic, []int{64, 64, 64}, []int{4, 4, 4}, nil)
+	q := geometry.NewBBox(geometry.Point{8, 8, 8}, geometry.Point{24, 24, 24})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dc.Pieces(7, q)
+	}
+}
+
+func TestGhostRegions(t *testing.T) {
+	dc := mustNew(t, Blocked, []int{16, 16}, []int{4, 4}, nil)
+	for r := 0; r < dc.NumTasks(); r++ {
+		owned := dc.Region(r)
+		ghosts := dc.GhostRegions(r, 2)
+		if len(ghosts) != len(owned) {
+			t.Fatalf("rank %d: %d ghosts for %d boxes", r, len(ghosts), len(owned))
+		}
+		for i := range owned {
+			if !ghosts[i].ContainsBox(owned[i]) {
+				t.Fatalf("rank %d: ghost %v does not contain owned %v", r, ghosts[i], owned[i])
+			}
+			if !dc.Domain().ContainsBox(ghosts[i]) {
+				t.Fatalf("rank %d: ghost %v leaves the domain", r, ghosts[i])
+			}
+		}
+	}
+	// Interior rank grows by the halo on every side.
+	interior := dc.RankOf([]int{1, 1})
+	g := dc.GhostRegions(interior, 1)[0]
+	o := dc.Region(interior)[0]
+	for d := 0; d < 2; d++ {
+		if g.Min[d] != o.Min[d]-1 || g.Max[d] != o.Max[d]+1 {
+			t.Fatalf("interior ghost %v from %v", g, o)
+		}
+	}
+}

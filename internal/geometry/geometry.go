@@ -1,0 +1,392 @@
+// Package geometry provides n-dimensional integer points, axis-aligned
+// bounding boxes and the region arithmetic used throughout the framework to
+// describe application data domains, decomposition blocks and coupled data
+// regions.
+//
+// Conventions: a BBox has an inclusive lower bound Min and an exclusive
+// upper bound Max, so Volume is the product of (Max[d]-Min[d]). All
+// operations treat boxes of mismatched dimensionality as a programming
+// error and panic, since dimensionality is fixed per workflow domain.
+package geometry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is an n-dimensional integer coordinate.
+type Point []int
+
+// Clone returns a copy of p.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are the same coordinate.
+func (p Point) Equal(q Point) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for d := range p {
+		if p[d] != q[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns p+q component-wise.
+func (p Point) Add(q Point) Point {
+	mustSameDim(len(p), len(q))
+	r := make(Point, len(p))
+	for d := range p {
+		r[d] = p[d] + q[d]
+	}
+	return r
+}
+
+// String renders the point as "(x,y,z)".
+func (p Point) String() string {
+	parts := make([]string, len(p))
+	for d, v := range p {
+		parts[d] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// BBox is an axis-aligned box with inclusive Min and exclusive Max.
+// The zero BBox has no dimensions and is empty.
+type BBox struct {
+	Min Point
+	Max Point
+}
+
+// NewBBox builds a box from lower (inclusive) and upper (exclusive) corners.
+// It panics if the corners disagree in dimension.
+func NewBBox(min, max Point) BBox {
+	mustSameDim(len(min), len(max))
+	return BBox{Min: min.Clone(), Max: max.Clone()}
+}
+
+// BoxFromSize builds a box anchored at origin with the given per-dimension
+// extent: [0,size[0]) x [0,size[1]) x ...
+func BoxFromSize(size []int) BBox {
+	min := make(Point, len(size))
+	max := make(Point, len(size))
+	copy(max, size)
+	return BBox{Min: min, Max: max}
+}
+
+// Dim returns the dimensionality of the box.
+func (b BBox) Dim() int { return len(b.Min) }
+
+// Size returns the extent of the box in dimension d.
+func (b BBox) Size(d int) int { return b.Max[d] - b.Min[d] }
+
+// Sizes returns the extent in every dimension.
+func (b BBox) Sizes() []int {
+	s := make([]int, b.Dim())
+	for d := range s {
+		s[d] = b.Size(d)
+	}
+	return s
+}
+
+// Volume returns the number of integer cells inside the box. An empty or
+// inverted box has volume 0.
+func (b BBox) Volume() int64 {
+	if b.Dim() == 0 {
+		return 0
+	}
+	v := int64(1)
+	for d := range b.Min {
+		ext := int64(b.Max[d] - b.Min[d])
+		if ext <= 0 {
+			return 0
+		}
+		v *= ext
+	}
+	return v
+}
+
+// Empty reports whether the box contains no cells.
+func (b BBox) Empty() bool { return b.Volume() == 0 }
+
+// Equal reports whether the two boxes have identical corners.
+func (b BBox) Equal(o BBox) bool {
+	return b.Min.Equal(o.Min) && b.Max.Equal(o.Max)
+}
+
+// Clone returns a deep copy of the box.
+func (b BBox) Clone() BBox {
+	return BBox{Min: b.Min.Clone(), Max: b.Max.Clone()}
+}
+
+// Contains reports whether point p lies inside the box.
+func (b BBox) Contains(p Point) bool {
+	mustSameDim(b.Dim(), len(p))
+	for d := range p {
+		if p[d] < b.Min[d] || p[d] >= b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o is fully inside b. An empty o is contained
+// in anything.
+func (b BBox) ContainsBox(o BBox) bool {
+	if o.Empty() {
+		return true
+	}
+	mustSameDim(b.Dim(), o.Dim())
+	for d := range b.Min {
+		if o.Min[d] < b.Min[d] || o.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of b and o; ok is false when they are
+// disjoint (the returned box is then empty).
+func (b BBox) Intersect(o BBox) (BBox, bool) {
+	mustSameDim(b.Dim(), o.Dim())
+	r := BBox{Min: make(Point, b.Dim()), Max: make(Point, b.Dim())}
+	for d := range b.Min {
+		r.Min[d] = maxInt(b.Min[d], o.Min[d])
+		r.Max[d] = minInt(b.Max[d], o.Max[d])
+		if r.Min[d] >= r.Max[d] {
+			return BBox{Min: make(Point, b.Dim()), Max: make(Point, b.Dim())}, false
+		}
+	}
+	return r, true
+}
+
+// Overlaps reports whether the two boxes share at least one cell.
+func (b BBox) Overlaps(o BBox) bool {
+	_, ok := b.Intersect(o)
+	return ok
+}
+
+// Cover returns the smallest box containing both b and o.
+func (b BBox) Cover(o BBox) BBox {
+	if b.Empty() {
+		return o.Clone()
+	}
+	if o.Empty() {
+		return b.Clone()
+	}
+	mustSameDim(b.Dim(), o.Dim())
+	r := BBox{Min: make(Point, b.Dim()), Max: make(Point, b.Dim())}
+	for d := range b.Min {
+		r.Min[d] = minInt(b.Min[d], o.Min[d])
+		r.Max[d] = maxInt(b.Max[d], o.Max[d])
+	}
+	return r
+}
+
+// Translate returns the box shifted by offset.
+func (b BBox) Translate(offset Point) BBox {
+	return BBox{Min: b.Min.Add(offset), Max: b.Max.Add(offset)}
+}
+
+// String renders the box in the paper's descriptor style
+// "<x0,y0,z0; x1,y1,z1>" with Max shown exclusive.
+func (b BBox) String() string {
+	lo := make([]string, b.Dim())
+	hi := make([]string, b.Dim())
+	for d := range b.Min {
+		lo[d] = fmt.Sprint(b.Min[d])
+		hi[d] = fmt.Sprint(b.Max[d])
+	}
+	return "<" + strings.Join(lo, ",") + "; " + strings.Join(hi, ",") + ">"
+}
+
+// Each invokes fn for every integer cell in the box in row-major order
+// (last dimension fastest). fn may not retain the point across calls.
+func (b BBox) Each(fn func(Point)) {
+	if b.Empty() {
+		return
+	}
+	p := b.Min.Clone()
+	for {
+		fn(p)
+		d := b.Dim() - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < b.Max[d] {
+				break
+			}
+			p[d] = b.Min[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Offset converts point p inside box b to its row-major linear offset
+// relative to the box origin. It panics if p is outside b.
+func (b BBox) Offset(p Point) int64 {
+	if !b.Contains(p) {
+		panic(fmt.Sprintf("geometry: point %v outside box %v", p, b))
+	}
+	var off int64
+	for d := 0; d < b.Dim(); d++ {
+		off = off*int64(b.Size(d)) + int64(p[d]-b.Min[d])
+	}
+	return off
+}
+
+// Subtract returns b minus o as a set of disjoint boxes covering exactly the
+// cells of b not in o. If they do not overlap the result is {b}.
+func (b BBox) Subtract(o BBox) []BBox {
+	inter, ok := b.Intersect(o)
+	if !ok {
+		if b.Empty() {
+			return nil
+		}
+		return []BBox{b.Clone()}
+	}
+	if inter.Equal(b) {
+		return nil
+	}
+	var out []BBox
+	rem := b.Clone()
+	for d := 0; d < b.Dim(); d++ {
+		if rem.Min[d] < inter.Min[d] {
+			low := rem.Clone()
+			low.Max[d] = inter.Min[d]
+			out = append(out, low)
+			rem.Min[d] = inter.Min[d]
+		}
+		if rem.Max[d] > inter.Max[d] {
+			high := rem.Clone()
+			high.Min[d] = inter.Max[d]
+			out = append(out, high)
+			rem.Max[d] = inter.Max[d]
+		}
+	}
+	return out
+}
+
+// Expand grows the box by width cells on every side of every dimension,
+// clipped to within. Negative widths shrink. The result may be empty.
+func (b BBox) Expand(width int, within BBox) BBox {
+	mustSameDim(b.Dim(), within.Dim())
+	r := BBox{Min: make(Point, b.Dim()), Max: make(Point, b.Dim())}
+	for d := range b.Min {
+		r.Min[d] = maxInt(b.Min[d]-width, within.Min[d])
+		r.Max[d] = minInt(b.Max[d]+width, within.Max[d])
+		if r.Min[d] > r.Max[d] {
+			r.Min[d] = r.Max[d]
+		}
+	}
+	return r
+}
+
+// Coalesce merges boxes that abut along exactly one dimension and agree in
+// all others, repeating until no merge applies. The input boxes must be
+// pairwise disjoint; the result covers exactly the same cells with as few
+// or fewer boxes. Used to shrink communication schedules: fewer, larger
+// transfers.
+func Coalesce(boxes []BBox) []BBox {
+	out := make([]BBox, 0, len(boxes))
+	for _, b := range boxes {
+		if !b.Empty() {
+			out = append(out, b.Clone())
+		}
+	}
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(out); i++ {
+			for j := i + 1; j < len(out); j++ {
+				if d, ok := mergeableDim(out[i], out[j]); ok {
+					if out[j].Min[d] == out[i].Max[d] {
+						out[i].Max[d] = out[j].Max[d]
+					} else {
+						out[i].Min[d] = out[j].Min[d]
+					}
+					out = append(out[:j], out[j+1:]...)
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			return out
+		}
+	}
+}
+
+// mergeableDim reports the single dimension along which a and b abut while
+// matching exactly in every other dimension.
+func mergeableDim(a, b BBox) (int, bool) {
+	if a.Dim() != b.Dim() {
+		return 0, false
+	}
+	dim := -1
+	for d := 0; d < a.Dim(); d++ {
+		if a.Min[d] == b.Min[d] && a.Max[d] == b.Max[d] {
+			continue
+		}
+		if dim != -1 {
+			return 0, false
+		}
+		if a.Max[d] == b.Min[d] || b.Max[d] == a.Min[d] {
+			dim = d
+			continue
+		}
+		return 0, false
+	}
+	if dim == -1 {
+		return 0, false // identical boxes (not disjoint input)
+	}
+	return dim, true
+}
+
+// TotalVolume sums the volumes of a box list.
+func TotalVolume(boxes []BBox) int64 {
+	var v int64
+	for _, b := range boxes {
+		v += b.Volume()
+	}
+	return v
+}
+
+// Disjoint reports whether no two boxes in the list overlap.
+func Disjoint(boxes []BBox) bool {
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Overlaps(boxes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mustSameDim(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("geometry: dimension mismatch %d vs %d", a, b))
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+// Package graph builds the inter-application communication graph used by
+// the server-side data-centric task mapping (paper Section IV-B).
+//
+// Each vertex is one computation task of a parallel application in a
+// "bundle" of concurrently coupled applications; each edge connects two
+// communicating tasks from different applications, weighted by the number
+// of bytes the coupling moves between them. The graph is computed offline
+// from the applications' declared data decompositions: the coupled bytes
+// between producer rank p and consumer rank c are the overlap volume of
+// their owned regions times the element size.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+)
+
+// Edge is a weighted link to another vertex.
+type Edge struct {
+	To     int
+	Weight int64
+}
+
+// Graph is an undirected weighted graph over computation tasks.
+type Graph struct {
+	labels []cluster.TaskID
+	vwgt   []int64
+	adj    []map[int]int64 // adjacency with accumulated weights
+}
+
+// New creates an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddVertex appends a vertex for a task with the given weight and returns
+// its index.
+func (g *Graph) AddVertex(t cluster.TaskID, weight int64) int {
+	g.labels = append(g.labels, t)
+	g.vwgt = append(g.vwgt, weight)
+	g.adj = append(g.adj, make(map[int]int64))
+	return len(g.labels) - 1
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// Label returns the task of vertex v.
+func (g *Graph) Label(v int) cluster.TaskID { return g.labels[v] }
+
+// VertexWeight returns the weight of vertex v.
+func (g *Graph) VertexWeight(v int) int64 { return g.vwgt[v] }
+
+// AddEdge accumulates weight onto the undirected edge (u, v). Self loops
+// are ignored.
+func (g *Graph) AddEdge(u, v int, weight int64) {
+	if u == v || weight <= 0 {
+		return
+	}
+	if u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range", u, v))
+	}
+	g.adj[u][v] += weight
+	g.adj[v][u] += weight
+}
+
+// Edges returns the sorted adjacency of vertex v.
+func (g *Graph) Edges(v int) []Edge {
+	out := make([]Edge, 0, len(g.adj[v]))
+	for to, w := range g.adj[v] {
+		out = append(out, Edge{To: to, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].To < out[j].To })
+	return out
+}
+
+// EdgeWeight returns the weight of edge (u, v), 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) int64 { return g.adj[u][v] }
+
+// TotalEdgeWeight returns the sum of all edge weights (each undirected
+// edge counted once).
+func (g *Graph) TotalEdgeWeight() int64 {
+	var total int64
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v {
+				total += w
+			}
+		}
+	}
+	return total
+}
+
+// App is one parallel application of a bundle: its id and declared data
+// decomposition.
+type App struct {
+	ID     int
+	Decomp *decomp.Decomposition
+}
+
+// BuildInterApp constructs the communication graph of a bundle: one unit
+// weight vertex per task of every application, and one edge per
+// producer/consumer task pair whose owned regions overlap, weighted by
+// overlap volume times elemSize bytes. couplings lists the (producer,
+// consumer) application pairs that exchange data; both must appear in
+// apps.
+func BuildInterApp(apps []App, couplings [][2]int, elemSize int64) (*Graph, map[cluster.TaskID]int, error) {
+	if elemSize <= 0 {
+		return nil, nil, fmt.Errorf("graph: element size %d", elemSize)
+	}
+	g := New()
+	index := make(map[cluster.TaskID]int)
+	byID := make(map[int]App)
+	for _, a := range apps {
+		if _, dup := byID[a.ID]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate application id %d", a.ID)
+		}
+		byID[a.ID] = a
+		for r := 0; r < a.Decomp.NumTasks(); r++ {
+			t := cluster.TaskID{App: a.ID, Rank: r}
+			index[t] = g.AddVertex(t, 1)
+		}
+	}
+	for _, cp := range couplings {
+		prod, ok := byID[cp[0]]
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: coupling references unknown application %d", cp[0])
+		}
+		cons, ok := byID[cp[1]]
+		if !ok {
+			return nil, nil, fmt.Errorf("graph: coupling references unknown application %d", cp[1])
+		}
+		overlap, err := decomp.NewOverlap(prod.Decomp, cons.Decomp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: coupling %d->%d: %w", cp[0], cp[1], err)
+		}
+		overlap.EachPair(func(rp, rc int, vol int64) {
+			u := index[cluster.TaskID{App: prod.ID, Rank: rp}]
+			v := index[cluster.TaskID{App: cons.ID, Rank: rc}]
+			g.AddEdge(u, v, vol*elemSize)
+		})
+	}
+	return g, index, nil
+}
+
+// StencilBytes returns, for one application, the per-task-pair halo
+// exchange volume in bytes: tasks adjacent along a grid dimension exchange
+// a halo of width halo cells over their shared face. It is used to model
+// intra-application near-neighbour communication (paper Section V-B) and
+// can also be merged into a graph for ablation studies.
+func StencilBytes(dc *decomp.Decomposition, halo int, elemSize int64) map[[2]int]int64 {
+	out := make(map[[2]int]int64)
+	grid := dc.Grid()
+	n := dc.NumTasks()
+	for r := 0; r < n; r++ {
+		coord := dc.GridCoord(r)
+		vol := dc.OwnedVolume(r)
+		for d := range grid {
+			if grid[d] == 1 {
+				continue
+			}
+			// Neighbour in +d direction (periodic boundaries, as in the
+			// torus-friendly stencils of the target applications).
+			nb := append([]int(nil), coord...)
+			nb[d] = (coord[d] + 1) % grid[d]
+			rn := dc.RankOf(nb)
+			if rn == r {
+				continue
+			}
+			// Face volume: owned volume divided by extent along d.
+			extent := int64(0)
+			for _, iv := range dc.Intervals(d, coord[d], dc.Domain().Min[d], dc.Domain().Max[d]) {
+				extent += int64(iv.Hi - iv.Lo)
+			}
+			if extent == 0 {
+				continue
+			}
+			face := vol / extent
+			key := [2]int{r, rn}
+			if rn < r {
+				key = [2]int{rn, r}
+			}
+			// Two-way halo exchange of width halo.
+			out[key] += 2 * face * int64(halo) * elemSize
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+)
+
+func mustDecomp(t testing.TB, kind decomp.Kind, size, grid, block []int) *decomp.Decomposition {
+	t.Helper()
+	dc, err := decomp.New(kind, geometry.BoxFromSize(size), grid, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestAddVertexAndEdges(t *testing.T) {
+	g := New()
+	a := g.AddVertex(cluster.TaskID{App: 1, Rank: 0}, 1)
+	b := g.AddVertex(cluster.TaskID{App: 2, Rank: 0}, 1)
+	c := g.AddVertex(cluster.TaskID{App: 2, Rank: 1}, 1)
+	g.AddEdge(a, b, 10)
+	g.AddEdge(a, b, 5) // accumulates
+	g.AddEdge(a, c, 3)
+	g.AddEdge(a, a, 99) // self loop ignored
+	g.AddEdge(b, c, 0)  // zero weight ignored
+
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.EdgeWeight(a, b) != 15 || g.EdgeWeight(b, a) != 15 {
+		t.Fatalf("edge (a,b) weight = %d", g.EdgeWeight(a, b))
+	}
+	if g.EdgeWeight(a, a) != 0 || g.EdgeWeight(b, c) != 0 {
+		t.Fatal("ignored edges present")
+	}
+	edges := g.Edges(a)
+	if len(edges) != 2 || edges[0].To != b || edges[1].To != c {
+		t.Fatalf("Edges(a) = %v", edges)
+	}
+	if g.TotalEdgeWeight() != 18 {
+		t.Fatalf("TotalEdgeWeight = %d", g.TotalEdgeWeight())
+	}
+	if g.Label(b) != (cluster.TaskID{App: 2, Rank: 0}) {
+		t.Fatalf("Label = %v", g.Label(b))
+	}
+	if g.VertexWeight(a) != 1 {
+		t.Fatalf("VertexWeight = %d", g.VertexWeight(a))
+	}
+}
+
+func TestBuildInterAppMatchedBlocked(t *testing.T) {
+	// Producer 4x4 blocked, consumer 2x2 blocked over a 16x16 domain:
+	// every consumer block covers exactly 4 producer blocks.
+	prod := mustDecomp(t, decomp.Blocked, []int{16, 16}, []int{4, 4}, nil)
+	cons := mustDecomp(t, decomp.Blocked, []int{16, 16}, []int{2, 2}, nil)
+	g, index, err := BuildInterApp(
+		[]App{{ID: 1, Decomp: prod}, {ID: 2, Decomp: cons}},
+		[][2]int{{1, 2}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 16+4 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	// Total edge weight must equal the full coupled volume in bytes.
+	if got, want := g.TotalEdgeWeight(), int64(16*16*8); got != want {
+		t.Fatalf("TotalEdgeWeight = %d, want %d", got, want)
+	}
+	// Each consumer vertex (8x8 region) covers exactly 4 producer blocks
+	// (4x4 = 16 cells each): 4 edges of 16*8 = 128 bytes.
+	for r := 0; r < 4; r++ {
+		v := index[cluster.TaskID{App: 2, Rank: r}]
+		edges := g.Edges(v)
+		if len(edges) != 4 {
+			t.Fatalf("consumer %d has %d edges", r, len(edges))
+		}
+		for _, e := range edges {
+			if e.Weight != 16*8 {
+				t.Fatalf("consumer %d edge weight %d", r, e.Weight)
+			}
+		}
+	}
+}
+
+func TestBuildInterAppMismatchedDense(t *testing.T) {
+	// Blocked producer vs cyclic consumer: every pair overlaps.
+	prod := mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil)
+	cons := mustDecomp(t, decomp.Cyclic, []int{8, 8}, []int{2, 2}, nil)
+	g, index, err := BuildInterApp(
+		[]App{{ID: 1, Decomp: prod}, {ID: 2, Decomp: cons}},
+		[][2]int{{1, 2}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		v := index[cluster.TaskID{App: 2, Rank: r}]
+		if len(g.Edges(v)) != 4 {
+			t.Fatalf("cyclic consumer %d should touch all 4 producers, got %d", r, len(g.Edges(v)))
+		}
+	}
+}
+
+func TestBuildInterAppValidation(t *testing.T) {
+	dc := mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil)
+	if _, _, err := BuildInterApp([]App{{ID: 1, Decomp: dc}, {ID: 1, Decomp: dc}}, nil, 8); err == nil {
+		t.Error("duplicate app id accepted")
+	}
+	if _, _, err := BuildInterApp([]App{{ID: 1, Decomp: dc}}, [][2]int{{1, 9}}, 8); err == nil {
+		t.Error("unknown coupling app accepted")
+	}
+	if _, _, err := BuildInterApp([]App{{ID: 1, Decomp: dc}}, nil, 0); err == nil {
+		t.Error("zero element size accepted")
+	}
+	other := mustDecomp(t, decomp.Blocked, []int{4, 4}, []int{2, 2}, nil)
+	if _, _, err := BuildInterApp(
+		[]App{{ID: 1, Decomp: dc}, {ID: 2, Decomp: other}}, [][2]int{{1, 2}}, 8); err == nil {
+		t.Error("mismatched domains accepted")
+	}
+}
+
+func TestStencilBytesBlocked2D(t *testing.T) {
+	// 2x2 blocked over 8x8: each task owns 4x4; each neighbour pair
+	// exchanges 2 * 4 cells * halo * elemSize. Periodic boundaries with
+	// grid extent 2 mean +d and -d neighbours coincide, so the pair edge
+	// accumulates both directions.
+	dc := mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil)
+	sb := StencilBytes(dc, 1, 8)
+	// Pairs: (0,1),(2,3) along dim1; (0,2),(1,3) along dim0.
+	if len(sb) != 4 {
+		t.Fatalf("stencil pairs = %v", sb)
+	}
+	for pair, bytes := range sb {
+		// face 4 cells, halo 1, elem 8, two directions, and both ranks see
+		// the same periodic neighbour twice (wrap + direct): 2*4*1*8 per
+		// rank-direction accumulation = 128.
+		if bytes != 128 {
+			t.Fatalf("pair %v bytes = %d, want 128", pair, bytes)
+		}
+	}
+}
+
+func TestStencilBytesSingleTaskDimension(t *testing.T) {
+	dc := mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{1, 4}, nil)
+	sb := StencilBytes(dc, 1, 8)
+	// No neighbours along dim 0 (grid extent 1).
+	for pair := range sb {
+		c0 := dc.GridCoord(pair[0])
+		c1 := dc.GridCoord(pair[1])
+		if c0[0] != c1[0] {
+			t.Fatalf("unexpected dim-0 neighbour pair %v", pair)
+		}
+	}
+	if len(sb) == 0 {
+		t.Fatal("no stencil pairs along dim 1")
+	}
+}
+
+func TestStencilBytes3D(t *testing.T) {
+	dc := mustDecomp(t, decomp.Blocked, []int{8, 8, 8}, []int{2, 2, 2}, nil)
+	sb := StencilBytes(dc, 2, 8)
+	if len(sb) == 0 {
+		t.Fatal("no pairs")
+	}
+	var total int64
+	for _, b := range sb {
+		total += b
+	}
+	// Each of 8 tasks has 3 face exchanges of 4x4 cells, halo 2, both
+	// directions, doubled by periodic coincidence: per pair 2*16*2*8 = 512
+	// accumulated twice (once per endpoint's +d scan) = 1024? Verify via
+	// the invariant: total = sum over tasks of per-task face volume.
+	// 8 tasks * 3 dims * (16 cells * 2 halo * 8 B * 2 dirs) = 12288.
+	if total != 12288 {
+		t.Fatalf("total stencil bytes = %d, want 12288", total)
+	}
+}

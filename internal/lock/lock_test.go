@@ -1,0 +1,253 @@
+package lock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/transport"
+)
+
+func service(t testing.TB, nodes, cores int) *Service {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(transport.NewFabric(m))
+}
+
+func TestWriteLockMutualExclusion(t *testing.T) {
+	s := service(t, 2, 4)
+	var inside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := s.ClientAt(cluster.CoreID(c))
+			for i := 0; i < 10; i++ {
+				if err := cl.AcquireWrite("var"); err != nil {
+					t.Error(err)
+					return
+				}
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				if err := cl.Release("var"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	s := service(t, 1, 8)
+	writer := s.ClientAt(0)
+	if err := writer.AcquireWrite("v"); err != nil {
+		t.Fatal(err)
+	}
+	// Readers must block while the writer holds the lock.
+	var readersIn atomic.Int32
+	var wg sync.WaitGroup
+	for c := 1; c <= 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := s.ClientAt(cluster.CoreID(c))
+			if err := cl.AcquireRead("v"); err != nil {
+				t.Error(err)
+				return
+			}
+			readersIn.Add(1)
+		}(c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if readersIn.Load() != 0 {
+		t.Fatal("readers entered while writer held the lock")
+	}
+	if err := writer.Release("v"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	// All three readers hold it concurrently now.
+	if readersIn.Load() != 3 {
+		t.Fatalf("readers in = %d", readersIn.Load())
+	}
+	// A writer must wait for all readers to release.
+	done := make(chan error, 1)
+	go func() {
+		cl := s.ClientAt(7)
+		done <- cl.AcquireWrite("v")
+	}()
+	select {
+	case <-done:
+		t.Fatal("writer acquired while readers hold the lock")
+	case <-time.After(20 * time.Millisecond):
+	}
+	for c := 1; c <= 3; c++ {
+		if err := s.ClientAt(cluster.CoreID(c)).Release("v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("writer never granted after readers released")
+	}
+}
+
+func TestIndependentLocksDoNotInterfere(t *testing.T) {
+	s := service(t, 1, 4)
+	a := s.ClientAt(0)
+	b := s.ClientAt(1)
+	if err := a.AcquireWrite("x"); err != nil {
+		t.Fatal(err)
+	}
+	// A different name is immediately available.
+	doneB := make(chan error, 1)
+	go func() { doneB <- b.AcquireWrite("y") }()
+	select {
+	case err := <-doneB:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("independent lock blocked")
+	}
+	if err := a.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release("y"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWithoutHoldFails(t *testing.T) {
+	s := service(t, 1, 2)
+	cl := s.ClientAt(1)
+	if err := cl.Release("nothing"); err == nil {
+		t.Fatal("release of unknown lock accepted")
+	}
+	// Prime the name with a write cycle so the read lock is grantable.
+	if err := cl.AcquireWrite("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Release("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AcquireRead("v"); err != nil {
+		t.Fatal(err)
+	}
+	other := s.ClientAt(0)
+	if err := other.Release("v"); err == nil {
+		t.Fatal("release by non-holder accepted")
+	}
+	if err := cl.Release("v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Producer/consumer coordination: the consumer takes the read lock only
+// after the producer's write release, observing the completed update.
+func TestWriteThenReadCoordination(t *testing.T) {
+	s := service(t, 2, 2)
+	shared := make([]int, 4)
+	prodDone := make(chan struct{})
+	var consumerSaw []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cl := s.ClientAt(0)
+		if err := cl.AcquireWrite("field"); err != nil {
+			t.Error(err)
+			return
+		}
+		close(prodDone) // consumer may now request
+		time.Sleep(10 * time.Millisecond)
+		for i := range shared {
+			shared[i] = i + 1
+		}
+		if err := cl.Release("field"); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-prodDone
+		cl := s.ClientAt(3)
+		if err := cl.AcquireRead("field"); err != nil {
+			t.Error(err)
+			return
+		}
+		consumerSaw = append([]int(nil), shared...)
+		if err := cl.Release("field"); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	for i, v := range consumerSaw {
+		if v != i+1 {
+			t.Fatalf("consumer saw %v", consumerSaw)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+// The DataSpaces gating: a read lock requested before any writer has
+// released must wait for the first write cycle, regardless of arrival
+// order.
+func TestReadGatedOnFirstWrite(t *testing.T) {
+	s := service(t, 1, 4)
+	reader := s.ClientAt(2)
+	got := make(chan error, 1)
+	go func() { got <- reader.AcquireRead("fresh") }()
+	select {
+	case <-got:
+		t.Fatal("read lock granted before any write release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A writer arriving later overtakes the gated reader.
+	w := s.ClientAt(0)
+	if err := w.AcquireWrite("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Fatal("read lock granted while writer held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := w.Release("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader never granted after the first write release")
+	}
+	if err := reader.Release("fresh"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+package redist
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// FuzzDecodePiece asserts the frame decoder rejects arbitrary input
+// without panicking, and that anything it accepts is self-consistent.
+func FuzzDecodePiece(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	region := geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{3, 4})
+	f.Add(encodePiece(region, []float64{1, 2, 3, 4}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		box, payload, err := decodePiece(data)
+		if err != nil {
+			return
+		}
+		if int64(len(payload)) != box.Volume() {
+			t.Fatalf("accepted frame with %d cells for region %v", len(payload), box)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Package redist implements two-sided M x N data redistribution between
+// coupled applications — the approach of the CCA M x N tools the paper
+// compares against in Section VI (InterComm, MCT, PAWS): both sides
+// compute a communication schedule from the two decompositions and
+// exchange the overlapping pieces with paired sends and receives over a
+// communicator spanning both applications.
+//
+// It serves as a baseline comparator for CoDS's one-sided receiver-driven
+// pulls: the delivered data is identical, but the two-sided path needs a
+// communicator across the coupled applications (the "single MPI
+// meta-application" coupling style) and synchronizes producers with
+// consumers, while CoDS decouples them through the shared space.
+package redist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/mpi"
+)
+
+// Piece is one element of a two-sided schedule: the cells of Region move
+// between local rank and Peer.
+type Piece struct {
+	Peer   int // rank in the other application
+	Region geometry.BBox
+}
+
+// Schedule lists, for one rank, what it sends (producer side) or receives
+// (consumer side).
+type Schedule struct {
+	Pieces []Piece
+}
+
+// TotalVolume returns the number of cells the schedule moves.
+func (s Schedule) TotalVolume() int64 {
+	var v int64
+	for _, p := range s.Pieces {
+		v += p.Region.Volume()
+	}
+	return v
+}
+
+// BuildSchedules computes the send schedule of every producer rank and the
+// receive schedule of every consumer rank for a redistribution from prod
+// to cons (which must decompose the same domain). Piece order is
+// deterministic on both sides, so paired operations match.
+func BuildSchedules(prod, cons *decomp.Decomposition) (send []Schedule, recv []Schedule, err error) {
+	if !prod.Domain().Equal(cons.Domain()) {
+		return nil, nil, fmt.Errorf("redist: decompositions cover different domains")
+	}
+	send = make([]Schedule, prod.NumTasks())
+	recv = make([]Schedule, cons.NumTasks())
+	// Enumerate overlapping pairs, then the concrete boxes: for each
+	// consumer piece of the producer rank's owned region.
+	ov, err := decomp.NewOverlap(prod, cons)
+	if err != nil {
+		return nil, nil, err
+	}
+	type pair struct{ rp, rc int }
+	var pairs []pair
+	ov.EachPair(func(rp, rc int, vol int64) {
+		pairs = append(pairs, pair{rp, rc})
+	})
+	for _, pr := range pairs {
+		// The cells moving rp -> rc: the consumer rank's pieces clipped to
+		// each maximal block of the producer rank, coalesced into as few
+		// boxes as possible (adjacent pieces of a cyclic consumer merge
+		// into one message; both sides coalesce the same input so their
+		// schedules stay paired).
+		var pieces []geometry.BBox
+		for _, prodBlock := range prod.Region(pr.rp) {
+			pieces = append(pieces, cons.Pieces(pr.rc, prodBlock)...)
+		}
+		for _, sub := range geometry.Coalesce(pieces) {
+			send[pr.rp].Pieces = append(send[pr.rp].Pieces, Piece{Peer: pr.rc, Region: sub})
+			recv[pr.rc].Pieces = append(recv[pr.rc].Pieces, Piece{Peer: pr.rp, Region: sub})
+		}
+	}
+	return send, recv, nil
+}
+
+// tag builds a distinct user tag per (producer piece index within the
+// pair) to keep multiple pieces between one pair ordered; a single tag
+// suffices because transport preserves per-(sender, tag) order.
+const redistTag = 1<<24 - 2
+
+// encodePiece frames a piece payload: the region header followed by the
+// row-major data, so the receiver can assemble without a side channel.
+func encodePiece(region geometry.BBox, data []float64) []byte {
+	dim := region.Dim()
+	buf := make([]byte, 8+16*dim+8*len(data))
+	binary.LittleEndian.PutUint64(buf, uint64(dim))
+	off := 8
+	for d := 0; d < dim; d++ {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(region.Min[d])))
+		binary.LittleEndian.PutUint64(buf[off+8:], uint64(int64(region.Max[d])))
+		off += 16
+	}
+	copy(buf[off:], mpi.Float64sToBytes(data))
+	return buf
+}
+
+// maxFrameDim bounds the dimensionality a frame header may claim; it
+// protects the decoder from corrupt headers describing absurd sizes.
+const maxFrameDim = 16
+
+// decodePiece parses a framed piece.
+func decodePiece(buf []byte) (geometry.BBox, []float64, error) {
+	if len(buf) < 8 {
+		return geometry.BBox{}, nil, fmt.Errorf("redist: short piece frame")
+	}
+	dim64 := binary.LittleEndian.Uint64(buf)
+	if dim64 < 1 || dim64 > maxFrameDim {
+		return geometry.BBox{}, nil, fmt.Errorf("redist: frame claims %d dimensions", dim64)
+	}
+	dim := int(dim64)
+	if len(buf) < 8+16*dim {
+		return geometry.BBox{}, nil, fmt.Errorf("redist: corrupt piece frame")
+	}
+	min := make(geometry.Point, dim)
+	max := make(geometry.Point, dim)
+	off := 8
+	for d := 0; d < dim; d++ {
+		min[d] = int(int64(binary.LittleEndian.Uint64(buf[off:])))
+		max[d] = int(int64(binary.LittleEndian.Uint64(buf[off+8:])))
+		if min[d] > max[d] {
+			return geometry.BBox{}, nil, fmt.Errorf("redist: frame region inverted in dimension %d", d)
+		}
+		off += 16
+	}
+	region := geometry.NewBBox(min, max)
+	if (len(buf)-off)%8 != 0 {
+		return geometry.BBox{}, nil, fmt.Errorf("redist: frame payload not 8-byte aligned")
+	}
+	data := mpi.BytesToFloat64s(buf[off:])
+	if int64(len(data)) != region.Volume() {
+		return geometry.BBox{}, nil, fmt.Errorf("redist: piece data %d cells for region %v", len(data), region)
+	}
+	return region, data, nil
+}
+
+// SendLocal executes one producer rank's side of the redistribution over a
+// communicator that spans producer ranks [0, P) followed by consumer ranks
+// [P, P+N). read must return the row-major data of a requested region of
+// the rank's local blocks.
+func SendLocal(comm *mpi.Comm, prodTasks int, sched Schedule, read func(geometry.BBox) ([]float64, error)) error {
+	for _, piece := range sched.Pieces {
+		data, err := read(piece.Region)
+		if err != nil {
+			return err
+		}
+		if int64(len(data)) != piece.Region.Volume() {
+			return fmt.Errorf("redist: read returned %d cells for %v", len(data), piece.Region)
+		}
+		if err := comm.Send(prodTasks+piece.Peer, redistTag, encodePiece(piece.Region, data)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv executes one consumer rank's side: it receives every scheduled
+// piece and assembles the row-major content of region. All pieces must
+// fall inside region and cover it exactly.
+func Recv(comm *mpi.Comm, sched Schedule, region geometry.BBox) ([]float64, error) {
+	out := make([]float64, region.Volume())
+	var covered int64
+	// Receive one frame per scheduled piece, from the specific peer.
+	for _, piece := range sched.Pieces {
+		buf, _, err := comm.Recv(piece.Peer, redistTag)
+		if err != nil {
+			return nil, err
+		}
+		got, data, err := decodePiece(buf)
+		if err != nil {
+			return nil, err
+		}
+		if !region.ContainsBox(got) {
+			return nil, fmt.Errorf("redist: piece %v outside region %v", got, region)
+		}
+		copyInto(out, region, data, got)
+		covered += got.Volume()
+	}
+	if covered != region.Volume() {
+		return nil, fmt.Errorf("redist: pieces cover %d of %d cells", covered, region.Volume())
+	}
+	return out, nil
+}
+
+// copyInto writes src (row-major over srcBox) into dst (row-major over
+// dstBox); srcBox must be inside dstBox.
+func copyInto(dst []float64, dstBox geometry.BBox, src []float64, srcBox geometry.BBox) {
+	if srcBox.Empty() {
+		return
+	}
+	last := srcBox.Dim() - 1
+	run := srcBox.Size(last)
+	p := srcBox.Min.Clone()
+	for {
+		do := dstBox.Offset(p)
+		so := srcBox.Offset(p)
+		copy(dst[do:do+int64(run)], src[so:so+int64(run)])
+		d := last - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < srcBox.Max[d] {
+				break
+			}
+			p[d] = srcBox.Min[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// ControlCost estimates the schedule-related message count of the
+// two-sided approach for a redistribution: one framed message per piece,
+// each carrying a region header of 8+16*dim bytes in addition to the
+// payload — overhead CoDS's cached one-sided schedules avoid after the
+// first iteration.
+func ControlCost(send []Schedule, dim int) (messages int, headerBytes int64) {
+	for _, s := range send {
+		messages += len(s.Pieces)
+		headerBytes += int64(len(s.Pieces)) * int64(8+16*dim)
+	}
+	return messages, headerBytes
+}

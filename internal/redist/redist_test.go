@@ -1,0 +1,257 @@
+package redist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/mpi"
+	"github.com/insitu/cods/internal/transport"
+)
+
+func mustDecomp(t testing.TB, kind decomp.Kind, size, grid, block []int) *decomp.Decomposition {
+	t.Helper()
+	dc, err := decomp.New(kind, geometry.BoxFromSize(size), grid, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func cellValue(p geometry.Point) float64 {
+	v := 0.0
+	for _, x := range p {
+		v = v*100 + float64(x)
+	}
+	return v
+}
+
+func TestBuildSchedulesCoverAndMatch(t *testing.T) {
+	cases := []struct{ prod, cons *decomp.Decomposition }{
+		{
+			mustDecomp(t, decomp.Blocked, []int{12, 12}, []int{3, 2}, nil),
+			mustDecomp(t, decomp.Blocked, []int{12, 12}, []int{2, 2}, nil),
+		},
+		{
+			mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil),
+			mustDecomp(t, decomp.Cyclic, []int{8, 8}, []int{2, 2}, nil),
+		},
+		{
+			mustDecomp(t, decomp.BlockCyclic, []int{12, 8}, []int{2, 2}, []int{3, 2}),
+			mustDecomp(t, decomp.Blocked, []int{12, 8}, []int{2, 3}, nil),
+		},
+	}
+	for ci, c := range cases {
+		send, recv, err := BuildSchedules(c.prod, c.cons)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sendVol, recvVol int64
+		for _, s := range send {
+			sendVol += s.TotalVolume()
+		}
+		for _, r := range recv {
+			recvVol += r.TotalVolume()
+		}
+		domain := c.prod.Domain().Volume()
+		if sendVol != domain || recvVol != domain {
+			t.Fatalf("case %d: schedules move %d/%d cells, domain %d", ci, sendVol, recvVol, domain)
+		}
+		// Every receive piece has a matching send piece.
+		type key struct {
+			rp, rc int
+			region string
+		}
+		sent := map[key]int{}
+		for rp, s := range send {
+			for _, p := range s.Pieces {
+				sent[key{rp, p.Peer, p.Region.String()}]++
+			}
+		}
+		for rc, r := range recv {
+			for _, p := range r.Pieces {
+				k := key{p.Peer, rc, p.Region.String()}
+				if sent[k] == 0 {
+					t.Fatalf("case %d: receive piece %v from %d has no matching send", ci, p.Region, p.Peer)
+				}
+				sent[k]--
+			}
+		}
+	}
+}
+
+func TestBuildSchedulesDomainMismatch(t *testing.T) {
+	a := mustDecomp(t, decomp.Blocked, []int{8}, []int{2}, nil)
+	b := mustDecomp(t, decomp.Blocked, []int{10}, []int{2}, nil)
+	if _, _, err := BuildSchedules(a, b); err == nil {
+		t.Fatal("mismatched domains accepted")
+	}
+}
+
+func TestPieceFraming(t *testing.T) {
+	region := geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{3, 5})
+	data := []float64{1, 2, 3, 4, 5, 6}
+	back, got, err := decodePiece(encodePiece(region, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(region) {
+		t.Fatalf("region = %v", back)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("data[%d] = %v", i, got[i])
+		}
+	}
+	if _, _, err := decodePiece([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Corrupt: claim wrong volume.
+	bad := encodePiece(region, data)
+	bad = bad[:len(bad)-8]
+	if _, _, err := decodePiece(bad); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// endToEnd runs a complete two-sided redistribution on goroutines and
+// verifies the consumer contents.
+func endToEnd(t *testing.T, prod, cons *decomp.Decomposition) *cluster.Machine {
+	t.Helper()
+	p, n := prod.NumTasks(), cons.NumTasks()
+	nodes := (p + n + 3) / 4
+	m, err := cluster.NewMachine(nodes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := transport.NewFabric(m)
+	cores := make([]cluster.CoreID, p+n)
+	for i := range cores {
+		cores[i] = cluster.CoreID(i)
+	}
+	comms, err := mpi.NewComms(f, cores, 1, "redist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	send, recv, err := BuildSchedules(prod, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make([]error, p+n)
+	var wg sync.WaitGroup
+	for rp := 0; rp < p; rp++ {
+		wg.Add(1)
+		go func(rp int) {
+			defer wg.Done()
+			errs[rp] = SendLocal(comms[rp], p, send[rp], func(region geometry.BBox) ([]float64, error) {
+				data := make([]float64, region.Volume())
+				i := 0
+				region.Each(func(pt geometry.Point) {
+					data[i] = cellValue(pt)
+					i++
+				})
+				return data, nil
+			})
+		}(rp)
+	}
+	for rc := 0; rc < n; rc++ {
+		wg.Add(1)
+		go func(rc int) {
+			defer wg.Done()
+			for _, region := range cons.Region(rc) {
+				// Restrict the schedule to this owned box.
+				var sub Schedule
+				for _, piece := range recv[rc].Pieces {
+					if region.ContainsBox(piece.Region) {
+						sub.Pieces = append(sub.Pieces, piece)
+					}
+				}
+				got, err := Recv(comms[p+rc], sub, region)
+				if err != nil {
+					errs[p+rc] = err
+					return
+				}
+				i := 0
+				region.Each(func(pt geometry.Point) {
+					if errs[p+rc] == nil && got[i] != cellValue(pt) {
+						errs[p+rc] = fmt.Errorf("cell %v = %v, want %v", pt, got[i], cellValue(pt))
+					}
+					i++
+				})
+			}
+		}(rc)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return m
+}
+
+func TestEndToEndBlockedToBlocked(t *testing.T) {
+	size := []int{12, 12}
+	endToEnd(t,
+		mustDecomp(t, decomp.Blocked, size, []int{3, 2}, nil),
+		mustDecomp(t, decomp.Blocked, size, []int{2, 2}, nil))
+}
+
+func TestEndToEndBlockedToCyclic(t *testing.T) {
+	size := []int{8, 8}
+	m := endToEnd(t,
+		mustDecomp(t, decomp.Blocked, size, []int{2, 2}, nil),
+		mustDecomp(t, decomp.Cyclic, size, []int{2, 2}, nil))
+	// All payload moved as intra-app traffic on the meta-communicator.
+	mt := m.Metrics()
+	moved := mt.Bytes(cluster.IntraApp, cluster.Network) + mt.Bytes(cluster.IntraApp, cluster.SharedMemory)
+	if moved < int64(8*8*8) {
+		t.Fatalf("moved only %d bytes", moved)
+	}
+}
+
+func TestEndToEnd3D(t *testing.T) {
+	size := []int{6, 6, 6}
+	endToEnd(t,
+		mustDecomp(t, decomp.Blocked, size, []int{2, 1, 2}, nil),
+		mustDecomp(t, decomp.Blocked, size, []int{1, 2, 1}, nil))
+}
+
+func TestRecvDetectsIncompleteCoverage(t *testing.T) {
+	m, _ := cluster.NewMachine(1, 2)
+	f := transport.NewFabric(m)
+	comms, err := mpi.NewComms(f, []cluster.CoreID{0, 1}, 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := geometry.BoxFromSize([]int{4})
+	// Empty schedule for a non-empty region: immediate coverage error.
+	if _, err := Recv(comms[1], Schedule{}, region); err == nil {
+		t.Fatal("incomplete coverage accepted")
+	}
+}
+
+func TestControlCost(t *testing.T) {
+	prod := mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil)
+	cons := mustDecomp(t, decomp.Cyclic, []int{8, 8}, []int{2, 2}, nil)
+	send, _, err := BuildSchedules(prod, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, hdr := ControlCost(send, 2)
+	if msgs <= 0 || hdr != int64(msgs)*(8+32) {
+		t.Fatalf("ControlCost = %d msgs, %d header bytes", msgs, hdr)
+	}
+	// Mismatched distributions need far more messages than matched ones.
+	matchedSend, _, err := BuildSchedules(prod, mustDecomp(t, decomp.Blocked, []int{8, 8}, []int{2, 2}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchedMsgs, _ := ControlCost(matchedSend, 2)
+	if matchedMsgs >= msgs {
+		t.Fatalf("matched %d msgs not below mismatched %d", matchedMsgs, msgs)
+	}
+}

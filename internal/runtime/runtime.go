@@ -1,0 +1,410 @@
+// Package runtime ties the framework together: it implements the workflow
+// management server (execution client management + workflow engine) and
+// the execution clients that run the computation tasks of the coupled
+// applications (paper Sections III-A and IV-C).
+//
+// One execution client is created per processor core. To run a bundle, the
+// server chooses a task mapping (server-side data-centric for concurrently
+// coupled bundles, decentralized client-side for sequentially coupled
+// consumers, or the round-robin baseline), then launches the bundle's
+// tasks: the execution clients form a process group per application by
+// "coloring" a bundle-wide communicator with the application id through
+// CommSplit — the MPI_Comm_split mechanism of Section IV-C — and invoke
+// the application subroutine registered for that id (applications are
+// statically registered with the framework, mirroring the paper's
+// pre-linked MPI subroutines).
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/graph"
+	"github.com/insitu/cods/internal/lock"
+	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/mpi"
+	"github.com/insitu/cods/internal/transport"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+// Policy selects the task mapping strategy for a run.
+type Policy int
+
+// Mapping policies.
+const (
+	// DataCentric uses server-side graph partitioning for concurrently
+	// coupled bundles and client-side locality mapping for sequentially
+	// coupled consumers (the paper's contribution).
+	DataCentric Policy = iota
+	// RoundRobin is the baseline of many MPI job launchers.
+	RoundRobin
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == DataCentric {
+		return "data-centric"
+	}
+	return "round-robin"
+}
+
+// AppContext is what a computation task sees while running.
+type AppContext struct {
+	// AppID and Rank identify this task.
+	AppID int
+	Rank  int
+	// Comm is the per-application communicator created by the coloring
+	// split; rank order follows task rank.
+	Comm *mpi.Comm
+	// Space is the task's CoDS handle for put/get operators.
+	Space *cods.Handle
+	// Decomp is the application's declared data decomposition.
+	Decomp *decomp.Decomposition
+	// Producers describes the other applications of the same bundle, for
+	// GetConcurrent against a concurrently coupled producer.
+	Producers map[int]cods.ProducerInfo
+	// Locks is this task's handle on the distributed reader/writer lock
+	// service, for lock-on-write / lock-on-read coordination of shared
+	// variables.
+	Locks *lock.Client
+	// Machine gives access to topology and metrics.
+	Machine *cluster.Machine
+}
+
+// AppFunc is the registered subroutine of one parallel application; it is
+// invoked once per computation task.
+type AppFunc func(*AppContext) error
+
+// AppSpec declares an application to the framework.
+type AppSpec struct {
+	// ID is the unique application id used in the workflow description.
+	ID int
+	// Decomp is the data decomposition of the application's domain.
+	Decomp *decomp.Decomposition
+	// Run is the application subroutine.
+	Run AppFunc
+	// ReadsVar optionally names the CoDS variable this application
+	// consumes from a sequentially coupled producer; it enables the
+	// client-side data-centric mapping for this application.
+	ReadsVar string
+	// ReadsVersion is the version of ReadsVar the tasks will request.
+	ReadsVersion int
+}
+
+// clientState tracks one execution client in the management server.
+type clientState int
+
+const (
+	clientIdle clientState = iota
+	clientBusy
+)
+
+// Server is the workflow management server plus the shared substrate
+// (fabric, CoDS space) of one simulated machine.
+type Server struct {
+	machine *cluster.Machine
+	fabric  *transport.Fabric
+	space   *cods.Space
+	locks   *lock.Service
+	apps    map[int]AppSpec
+	seed    int64
+
+	mu      sync.Mutex
+	clients map[cluster.CoreID]clientState
+}
+
+// NewServer bootstraps the framework on a machine for a coupled data
+// domain: it builds the HybridDART fabric, the CoDS space (with its lookup
+// service) and registers one execution client per core.
+func NewServer(m *cluster.Machine, domain geometry.BBox, seed int64) (*Server, error) {
+	f := transport.NewFabric(m)
+	sp, err := cods.NewSpace(f, domain)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		machine: m,
+		fabric:  f,
+		space:   sp,
+		locks:   lock.NewService(f),
+		apps:    make(map[int]AppSpec),
+		seed:    seed,
+		clients: make(map[cluster.CoreID]clientState),
+	}
+	for c := 0; c < m.TotalCores(); c++ {
+		s.clients[cluster.CoreID(c)] = clientIdle
+	}
+	return s, nil
+}
+
+// Machine returns the underlying machine.
+func (s *Server) Machine() *cluster.Machine { return s.machine }
+
+// Space returns the CoDS instance.
+func (s *Server) Space() *cods.Space { return s.space }
+
+// Fabric returns the transport fabric.
+func (s *Server) Fabric() *transport.Fabric { return s.fabric }
+
+// ClientCount returns the number of registered execution clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+// RegisterApp declares an application; all applications of a workflow must
+// be registered before Run.
+func (s *Server) RegisterApp(spec AppSpec) error {
+	if spec.Run == nil {
+		return fmt.Errorf("runtime: application %d has no subroutine", spec.ID)
+	}
+	if spec.Decomp == nil {
+		return fmt.Errorf("runtime: application %d has no decomposition", spec.ID)
+	}
+	if _, dup := s.apps[spec.ID]; dup {
+		return fmt.Errorf("runtime: application %d registered twice", spec.ID)
+	}
+	s.apps[spec.ID] = spec
+	return nil
+}
+
+// Report summarizes one workflow run.
+type Report struct {
+	Policy     Policy
+	BundlesRun int
+	TasksRun   int
+	// PlacementOf records the placement each application ran under.
+	PlacementOf map[int]*cluster.Placement
+}
+
+// Run executes a workflow to completion under the given mapping policy.
+// Ready bundles found at the same engine step run concurrently when they
+// are single-application consumers (the paper's land + sea-ice pattern);
+// multi-application bundles run as their own group.
+func (s *Server) Run(d *workflow.DAG, policy Policy) (*Report, error) {
+	for _, a := range d.Apps {
+		if _, ok := s.apps[a]; !ok {
+			return nil, fmt.Errorf("runtime: workflow references unregistered application %d", a)
+		}
+	}
+	eng := workflow.NewEngine(d)
+	rep := &Report{Policy: policy, PlacementOf: make(map[int]*cluster.Placement)}
+	for !eng.Finished() {
+		ready := eng.Ready()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("runtime: workflow stuck with no ready bundles")
+		}
+		// Group the ready set: each multi-app bundle is its own group;
+		// single-app bundles run together as one group so sibling
+		// consumers retrieve data simultaneously.
+		var groups [][]int
+		var singles []int
+		for _, b := range ready {
+			if len(d.Bundles[b]) > 1 {
+				groups = append(groups, []int{b})
+			} else {
+				singles = append(singles, b)
+			}
+		}
+		if len(singles) > 0 {
+			groups = append(groups, singles)
+		}
+		for _, grp := range groups {
+			var appIDs []int
+			for _, b := range grp {
+				if err := eng.Start(b); err != nil {
+					return nil, err
+				}
+				appIDs = append(appIDs, d.Bundles[b]...)
+			}
+			pl, err := s.mapGroup(d, appIDs, policy)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.launchGroup(appIDs, pl); err != nil {
+				return nil, err
+			}
+			for _, a := range appIDs {
+				rep.PlacementOf[a] = pl
+				rep.TasksRun += s.apps[a].Decomp.NumTasks()
+			}
+			for _, b := range grp {
+				if err := eng.Complete(b); err != nil {
+					return nil, err
+				}
+				rep.BundlesRun++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// graphApps converts registered specs to graph.App descriptors.
+func (s *Server) graphApps(appIDs []int) []graph.App {
+	out := make([]graph.App, len(appIDs))
+	for i, a := range appIDs {
+		out[i] = graph.App{ID: a, Decomp: s.apps[a].Decomp}
+	}
+	return out
+}
+
+// mapGroup chooses and computes the placement for a group of applications
+// scheduled together.
+func (s *Server) mapGroup(d *workflow.DAG, appIDs []int, policy Policy) (*cluster.Placement, error) {
+	apps := s.graphApps(appIDs)
+	if policy == RoundRobin {
+		// The launcher baseline: consecutive SMP placement, which is what
+		// the "round-robin" MPI job launchers of the paper's comparison
+		// produce per application.
+		return mapping.Consecutive(s.machine, apps, nil)
+	}
+	if len(appIDs) > 1 && sameBundle(d, appIDs) {
+		// Concurrently coupled bundle: server-side mapping over the
+		// inter-application communication graph. All producer->consumer
+		// pairs inside the bundle are coupled.
+		var couplings [][2]int
+		for i := 0; i < len(appIDs); i++ {
+			for j := i + 1; j < len(appIDs); j++ {
+				couplings = append(couplings, [2]int{appIDs[i], appIDs[j]})
+			}
+		}
+		return mapping.ServerDataCentric(s.machine,
+			mapping.Bundle{Apps: apps, Couplings: couplings}, nil, cods.ElemSize, s.seed)
+	}
+	// Sequentially coupled consumers: client-side mapping when every app
+	// declares what it reads and has a parent.
+	var consumers []mapping.Consumer
+	for i, a := range appIDs {
+		spec := s.apps[a]
+		if spec.ReadsVar == "" || len(d.Parents(a)) == 0 {
+			consumers = nil
+			break
+		}
+		consumers = append(consumers, mapping.Consumer{
+			App: apps[i], Var: spec.ReadsVar, Version: spec.ReadsVersion,
+		})
+	}
+	if consumers != nil {
+		return mapping.ClientDataCentric(s.machine, s.space.Lookup(), consumers, nil,
+			fmt.Sprintf("map:%v", appIDs))
+	}
+	return mapping.Consecutive(s.machine, apps, nil)
+}
+
+// sameBundle reports whether the app ids form exactly one bundle of the
+// DAG.
+func sameBundle(d *workflow.DAG, appIDs []int) bool {
+	want := append([]int(nil), appIDs...)
+	sort.Ints(want)
+	for _, b := range d.Bundles {
+		got := append([]int(nil), b...)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			continue
+		}
+		same := true
+		for i := range got {
+			if got[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// launchGroup runs every task of the group's applications on its placed
+// core: a bundle-wide communicator is created, each execution client
+// colors itself with its application id and splits into the per-app
+// communicator, then runs the registered subroutine.
+func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement) error {
+	// Deterministic task order defines bundle-comm ranks.
+	tasks := pl.Tasks()
+	if len(tasks) == 0 {
+		return fmt.Errorf("runtime: empty placement")
+	}
+	cores := make([]cluster.CoreID, len(tasks))
+	for i, t := range tasks {
+		cores[i] = pl.MustCoreOf(t)
+	}
+	bundleComms, err := mpi.NewComms(s.fabric, cores, 0, "setup")
+	if err != nil {
+		return err
+	}
+	// Producer info for concurrent coupling inside the group.
+	producers := make(map[int]cods.ProducerInfo, len(appIDs))
+	for _, a := range appIDs {
+		a := a
+		producers[a] = cods.ProducerInfo{
+			Decomp: s.apps[a].Decomp,
+			CoreOf: func(rank int) cluster.CoreID {
+				return pl.MustCoreOf(cluster.TaskID{App: a, Rank: rank})
+			},
+		}
+	}
+	s.markClients(cores, clientBusy)
+	defer s.markClients(cores, clientIdle)
+
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t cluster.TaskID) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("runtime: task %v panicked: %v", t, r)
+				}
+			}()
+			// Coloring: same app id -> same process group.
+			sub, err := bundleComms[i].CommSplit(t.App, t.Rank)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			spec := s.apps[t.App]
+			others := make(map[int]cods.ProducerInfo, len(producers)-1)
+			for a, info := range producers {
+				if a != t.App {
+					others[a] = info
+				}
+			}
+			ctx := &AppContext{
+				AppID:     t.App,
+				Rank:      t.Rank,
+				Comm:      sub,
+				Space:     s.space.HandleAt(cores[i], t.App, fmt.Sprintf("app:%d", t.App)),
+				Decomp:    spec.Decomp,
+				Producers: others,
+				Locks:     s.locks.ClientAt(cores[i]),
+				Machine:   s.machine,
+			}
+			errs[i] = spec.Run(ctx)
+		}(i, t)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("runtime: task %v: %w", tasks[i], err)
+		}
+	}
+	return nil
+}
+
+// markClients flips the registration state of a core set.
+func (s *Server) markClients(cores []cluster.CoreID, st clientState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range cores {
+		s.clients[c] = st
+	}
+}

@@ -1,0 +1,427 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+func cellValue(p geometry.Point) float64 {
+	v := 0.0
+	for _, x := range p {
+		v = v*1000 + float64(x)
+	}
+	return v
+}
+
+func fillRegion(b geometry.BBox) []float64 {
+	data := make([]float64, b.Volume())
+	i := 0
+	b.Each(func(p geometry.Point) {
+		data[i] = cellValue(p)
+		i++
+	})
+	return data
+}
+
+func verifyRegion(region geometry.BBox, got []float64) error {
+	if int64(len(got)) != region.Volume() {
+		return fmt.Errorf("length %d != volume %d", len(got), region.Volume())
+	}
+	i := 0
+	var err error
+	region.Each(func(p geometry.Point) {
+		if err == nil && got[i] != cellValue(p) {
+			err = fmt.Errorf("cell %v = %v, want %v", p, got[i], cellValue(p))
+		}
+		i++
+	})
+	return err
+}
+
+func mustDecomp(t testing.TB, kind decomp.Kind, size, grid []int) *decomp.Decomposition {
+	t.Helper()
+	dc, err := decomp.New(kind, geometry.BoxFromSize(size), grid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func newServer(t testing.TB, nodes, cores int, size []int) *Server {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(m, geometry.BoxFromSize(size), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// producerPutsConcurrent returns an AppFunc that exposes every owned block
+// for direct consumption.
+func producerPutsConcurrent(v string) AppFunc {
+	return func(ctx *AppContext) error {
+		for _, blk := range ctx.Decomp.Region(ctx.Rank) {
+			if err := ctx.Space.PutConcurrent(v, 0, blk, fillRegion(blk)); err != nil {
+				return err
+			}
+		}
+		return ctx.Comm.Barrier()
+	}
+}
+
+// consumerGetsConcurrent pulls the task's region from a producer and
+// verifies the contents.
+func consumerGetsConcurrent(v string, producer int) AppFunc {
+	return func(ctx *AppContext) error {
+		info, ok := ctx.Producers[producer]
+		if !ok {
+			return fmt.Errorf("producer %d info missing", producer)
+		}
+		for _, region := range ctx.Decomp.Region(ctx.Rank) {
+			got, err := ctx.Space.GetConcurrent(info, v, 0, region)
+			if err != nil {
+				return err
+			}
+			if err := verifyRegion(region, got); err != nil {
+				return fmt.Errorf("rank %d: %w", ctx.Rank, err)
+			}
+		}
+		return nil
+	}
+}
+
+func TestConcurrentWorkflowBothPolicies(t *testing.T) {
+	for _, policy := range []Policy{DataCentric, RoundRobin} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			size := []int{8, 8, 8}
+			s := newServer(t, 4, 4, size)
+			if err := s.RegisterApp(AppSpec{
+				ID:     1,
+				Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 2}),
+				Run:    producerPutsConcurrent("flux"),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RegisterApp(AppSpec{
+				ID:     2,
+				Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 2, 2}),
+				Run:    consumerGetsConcurrent("flux", 1),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Run(d, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.BundlesRun != 1 || rep.TasksRun != 12 {
+				t.Fatalf("report = %+v", rep)
+			}
+			if rep.PlacementOf[1] == nil || rep.PlacementOf[2] == nil {
+				t.Fatal("placements missing from report")
+			}
+		})
+	}
+}
+
+func TestSequentialWorkflowBothPolicies(t *testing.T) {
+	for _, policy := range []Policy{DataCentric, RoundRobin} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			size := []int{8, 8, 8}
+			s := newServer(t, 4, 4, size)
+			producer := func(ctx *AppContext) error {
+				for _, blk := range ctx.Decomp.Region(ctx.Rank) {
+					if err := ctx.Space.PutSequential("state", 0, blk, fillRegion(blk)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			consumer := func(ctx *AppContext) error {
+				for _, region := range ctx.Decomp.Region(ctx.Rank) {
+					got, err := ctx.Space.GetSequential("state", 0, region)
+					if err != nil {
+						return err
+					}
+					if err := verifyRegion(region, got); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			specs := []AppSpec{
+				{ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 2}), Run: producer},
+				{ID: 2, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 1}), Run: consumer,
+					ReadsVar: "state"},
+				{ID: 3, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 2, 2}), Run: consumer,
+					ReadsVar: "state"},
+			}
+			for _, spec := range specs {
+				if err := s.RegisterApp(spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := workflow.New([]int{1, 2, 3}, [][2]int{{1, 2}, {1, 3}}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.Run(d, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.BundlesRun != 3 || rep.TasksRun != 16 {
+				t.Fatalf("report = %+v", rep)
+			}
+			// The sibling consumers must have run as one group: their
+			// placements are the same object.
+			if rep.PlacementOf[2] != rep.PlacementOf[3] {
+				t.Fatal("sibling consumers did not share a mapping group")
+			}
+		})
+	}
+}
+
+func TestDataCentricBeatsRoundRobinOnNetworkBytes(t *testing.T) {
+	size := []int{8, 8, 8}
+	run := func(policy Policy) int64 {
+		s := newServer(t, 4, 4, size)
+		if err := s.RegisterApp(AppSpec{
+			ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 2}),
+			Run: producerPutsConcurrent("v"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RegisterApp(AppSpec{
+			ID: 2, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2, 1}),
+			Run: consumerGetsConcurrent("v", 1),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(d, policy); err != nil {
+			t.Fatal(err)
+		}
+		return s.Machine().Metrics().Bytes(cluster.InterApp, cluster.Network)
+	}
+	rr := run(RoundRobin)
+	dc := run(DataCentric)
+	if dc >= rr {
+		t.Fatalf("data-centric network bytes %d not below round-robin %d", dc, rr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	d, err := workflow.New([]int{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, DataCentric); err == nil {
+		t.Fatal("run with unregistered app accepted")
+	}
+	if err := s.RegisterApp(AppSpec{ID: 1}); err == nil {
+		t.Fatal("spec without Run accepted")
+	}
+	if err := s.RegisterApp(AppSpec{ID: 1, Run: func(*AppContext) error { return nil }}); err == nil {
+		t.Fatal("spec without Decomp accepted")
+	}
+	ok := AppSpec{ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 2}),
+		Run: func(*AppContext) error { return nil }}
+	if err := s.RegisterApp(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(ok); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestAppErrorPropagates(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	boom := fmt.Errorf("boom")
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 1}),
+		Run: func(ctx *AppContext) error {
+			if ctx.Rank == 1 {
+				return boom
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(d, DataCentric)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestAppPanicIsCaptured(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: func(ctx *AppContext) error { panic("kaboom") },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	_, err := s.Run(d, DataCentric)
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic not captured: %v", err)
+	}
+}
+
+func TestCommSplitRanksMatchTaskRanks(t *testing.T) {
+	size := []int{8, 8}
+	s := newServer(t, 2, 4, size)
+	check := func(ctx *AppContext) error {
+		if ctx.Comm.Rank() != ctx.Rank {
+			return fmt.Errorf("app %d: comm rank %d != task rank %d", ctx.AppID, ctx.Comm.Rank(), ctx.Rank)
+		}
+		if ctx.Comm.Size() != ctx.Decomp.NumTasks() {
+			return fmt.Errorf("app %d: comm size %d != tasks %d", ctx.AppID, ctx.Comm.Size(), ctx.Decomp.NumTasks())
+		}
+		// Exercise the group communicator.
+		sum, err := ctx.Comm.Allreduce(0, []float64{1})
+		if err != nil {
+			return err
+		}
+		if int(sum[0]) != ctx.Comm.Size() {
+			return fmt.Errorf("allreduce = %v", sum)
+		}
+		return nil
+	}
+	for _, id := range []int{1, 2} {
+		grid := []int{2, 2}
+		if id == 2 {
+			grid = []int{2, 1}
+		}
+		if err := s.RegisterApp(AppSpec{ID: id, Decomp: mustDecomp(t, decomp.Blocked, size, grid), Run: check}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, DataCentric); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientRegistration(t *testing.T) {
+	s := newServer(t, 3, 4, []int{4, 4})
+	if s.ClientCount() != 12 {
+		t.Fatalf("ClientCount = %d", s.ClientCount())
+	}
+}
+
+// Tasks can coordinate through the distributed lock service: the producer
+// holds the write lock while updating, consumers read-lock before pulling.
+func TestLockCoordinationAcrossApps(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 4, size)
+	if err := s.RegisterApp(runtime_TestSpecProducer(t, size)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterApp(runtime_TestSpecConsumer(t, size)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := workflow.New([]int{1, 2}, nil, [][]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(d, DataCentric); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The DataSpaces coordination pattern: rank 0 holds the application-wide
+// lock while the whole application's ranks put (or get), synchronized
+// with barriers. Taking the lock per rank would deadlock — a consumer
+// holding the read lock would wait for data a producer rank cannot
+// publish until the readers release.
+func runtime_TestSpecProducer(t *testing.T, size []int) AppSpec {
+	return AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 1}),
+		Run: func(ctx *AppContext) error {
+			if ctx.Rank == 0 {
+				if err := ctx.Locks.AcquireWrite("field"); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Comm.Barrier(); err != nil {
+				return err
+			}
+			for _, blk := range ctx.Decomp.Region(ctx.Rank) {
+				if err := ctx.Space.PutConcurrent("field", 0, blk, fillRegion(blk)); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Comm.Barrier(); err != nil {
+				return err
+			}
+			if ctx.Rank == 0 {
+				return ctx.Locks.Release("field")
+			}
+			return nil
+		},
+	}
+}
+
+func runtime_TestSpecConsumer(t *testing.T, size []int) AppSpec {
+	return AppSpec{
+		ID: 2, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 2}),
+		Run: func(ctx *AppContext) error {
+			if ctx.Rank == 0 {
+				if err := ctx.Locks.AcquireRead("field"); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Comm.Barrier(); err != nil {
+				return err
+			}
+			info := ctx.Producers[1]
+			for _, region := range ctx.Decomp.Region(ctx.Rank) {
+				got, err := ctx.Space.GetConcurrent(info, "field", 0, region)
+				if err != nil {
+					return err
+				}
+				if err := verifyRegion(region, got); err != nil {
+					return err
+				}
+			}
+			if err := ctx.Comm.Barrier(); err != nil {
+				return err
+			}
+			if ctx.Rank == 0 {
+				return ctx.Locks.Release("field")
+			}
+			return nil
+		},
+	}
+}

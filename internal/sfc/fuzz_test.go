@@ -1,0 +1,47 @@
+package sfc
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// FuzzSpans asserts the span decomposition invariant for arbitrary boxes:
+// total span length equals the clipped query volume, and no panic occurs.
+func FuzzSpans(f *testing.F) {
+	f.Add(0, 0, 0, 4, 4, 4)
+	f.Add(3, 5, 1, 11, 13, 2)
+	f.Add(-5, -5, -5, 20, 20, 20)
+	f.Add(7, 7, 7, 7, 7, 7) // empty
+	f.Fuzz(func(t *testing.T, x0, y0, z0, x1, y1, z1 int) {
+		// Bound the coordinates so the test stays fast.
+		clamp := func(v int) int {
+			if v < -32 {
+				return -32
+			}
+			if v > 32 {
+				return 32
+			}
+			return v
+		}
+		min := geometry.Point{clamp(x0), clamp(y0), clamp(z0)}
+		max := geometry.Point{clamp(x1), clamp(y1), clamp(z1)}
+		q := geometry.BBox{Min: min, Max: max}
+		if q.Volume() < 0 {
+			return
+		}
+		c, err := NewCurve(3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := c.Spans(q)
+		clipped, ok := q.Intersect(c.Domain())
+		var want uint64
+		if ok {
+			want = uint64(clipped.Volume())
+		}
+		if TotalLen(spans) != want {
+			t.Fatalf("spans cover %d cells, clipped query has %d", TotalLen(spans), want)
+		}
+	})
+}

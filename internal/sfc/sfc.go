@@ -1,0 +1,515 @@
+// Package sfc implements the space-filling-curve linearization used by the
+// CoDS distributed hash table. The paper linearizes the n-dimensional
+// Cartesian application domain with a Hilbert curve so that a contiguous
+// region of the domain maps to a small number of contiguous spans of the
+// 1-D index space (Section IV-A, Figure 6).
+//
+// Curve implements the n-dimensional Hilbert transform following Skilling,
+// "Programming the Hilbert curve" (AIP Conf. Proc. 707, 2004). RowMajor is
+// an alternative naive linearizer kept for the ablation benchmarks.
+package sfc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// Span is a half-open interval [Start, End) of the 1-D linearized index
+// space.
+type Span struct {
+	Start uint64
+	End   uint64
+}
+
+// Len returns the number of indices covered by the span.
+func (s Span) Len() uint64 { return s.End - s.Start }
+
+// Linearizer maps n-dimensional grid points to 1-D indices and back, and
+// decomposes a box query into index spans.
+type Linearizer interface {
+	// Dim returns the dimensionality of the curve.
+	Dim() int
+	// Bits returns the number of bits per dimension.
+	Bits() int
+	// Total returns the size of the index space, 2^(Dim*Bits).
+	Total() uint64
+	// Encode maps a point to its index. Coordinates must lie in
+	// [0, 2^Bits).
+	Encode(p geometry.Point) uint64
+	// Decode maps an index back to its point.
+	Decode(idx uint64) geometry.Point
+	// Spans decomposes the cells of box b (clipped to the curve's domain)
+	// into a sorted, merged list of index spans.
+	Spans(b geometry.BBox) []Span
+}
+
+// Curve is an n-dimensional Hilbert curve over a grid of side 2^bits.
+type Curve struct {
+	dim  int
+	bits int
+}
+
+// NewCurve creates a Hilbert curve for dim dimensions with bits bits per
+// dimension. dim*bits must not exceed 63 so indices fit in uint64 with
+// headroom. It returns an error for degenerate parameters.
+func NewCurve(dim, bits int) (*Curve, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("sfc: dimension %d < 1", dim)
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("sfc: bits %d < 1", bits)
+	}
+	if dim*bits > 63 {
+		return nil, fmt.Errorf("sfc: dim*bits = %d exceeds 63", dim*bits)
+	}
+	return &Curve{dim: dim, bits: bits}, nil
+}
+
+// CurveForDomain builds the smallest Hilbert curve whose grid covers the
+// given domain sizes (each dimension padded to the next power of two; all
+// dimensions share the largest bit width, as the transform requires a cubic
+// grid).
+func CurveForDomain(size []int) (*Curve, error) {
+	if len(size) == 0 {
+		return nil, fmt.Errorf("sfc: empty domain")
+	}
+	bits := 1
+	for _, s := range size {
+		if s < 1 {
+			return nil, fmt.Errorf("sfc: domain extent %d < 1", s)
+		}
+		b := bitsFor(s)
+		if b > bits {
+			bits = b
+		}
+	}
+	return NewCurve(len(size), bits)
+}
+
+// bitsFor returns the minimum b with 2^b >= s (at least 1).
+func bitsFor(s int) int {
+	b := 1
+	for (1 << b) < s {
+		b++
+	}
+	return b
+}
+
+// Dim returns the curve's dimensionality.
+func (c *Curve) Dim() int { return c.dim }
+
+// Bits returns the bits per dimension.
+func (c *Curve) Bits() int { return c.bits }
+
+// Total returns the size of the 1-D index space.
+func (c *Curve) Total() uint64 { return 1 << uint(c.dim*c.bits) }
+
+// Domain returns the cubic grid covered by the curve.
+func (c *Curve) Domain() geometry.BBox {
+	size := make([]int, c.dim)
+	for d := range size {
+		size[d] = 1 << uint(c.bits)
+	}
+	return geometry.BoxFromSize(size)
+}
+
+// Encode maps point p to its Hilbert index.
+func (c *Curve) Encode(p geometry.Point) uint64 {
+	if len(p) != c.dim {
+		panic(fmt.Sprintf("sfc: point dimension %d, curve dimension %d", len(p), c.dim))
+	}
+	x := make([]uint64, c.dim)
+	for d, v := range p {
+		if v < 0 || v >= (1<<uint(c.bits)) {
+			panic(fmt.Sprintf("sfc: coordinate %d out of range [0,%d)", v, 1<<uint(c.bits)))
+		}
+		x[d] = uint64(v)
+	}
+	c.axesToTranspose(x)
+	return c.interleave(x)
+}
+
+// Decode maps a Hilbert index back to its point.
+func (c *Curve) Decode(idx uint64) geometry.Point {
+	if idx >= c.Total() {
+		panic(fmt.Sprintf("sfc: index %d out of range [0,%d)", idx, c.Total()))
+	}
+	x := c.deinterleave(idx)
+	c.transposeToAxes(x)
+	p := make(geometry.Point, c.dim)
+	for d := range p {
+		p[d] = int(x[d])
+	}
+	return p
+}
+
+// axesToTranspose converts coordinates in place to the "transpose" Hilbert
+// representation (Skilling's AxestoTranspose).
+func (c *Curve) axesToTranspose(x []uint64) {
+	n := c.dim
+	m := uint64(1) << uint(c.bits-1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes converts the transpose representation in place back to
+// coordinates (Skilling's TransposetoAxes).
+func (c *Curve) transposeToAxes(x []uint64) {
+	n := c.dim
+	top := uint64(2) << uint(c.bits-1) // 2^bits
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != top; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// interleave packs the transpose representation into a single index: the
+// most significant bit of the result is bit bits-1 of x[0], then bit bits-1
+// of x[1], and so on.
+func (c *Curve) interleave(x []uint64) uint64 {
+	var h uint64
+	for l := c.bits - 1; l >= 0; l-- {
+		for i := 0; i < c.dim; i++ {
+			h = (h << 1) | ((x[i] >> uint(l)) & 1)
+		}
+	}
+	return h
+}
+
+// deinterleave is the inverse of interleave.
+func (c *Curve) deinterleave(h uint64) []uint64 {
+	x := make([]uint64, c.dim)
+	shift := uint(c.dim*c.bits - 1)
+	for l := c.bits - 1; l >= 0; l-- {
+		for i := 0; i < c.dim; i++ {
+			x[i] |= ((h >> shift) & 1) << uint(l)
+			shift--
+		}
+	}
+	return x
+}
+
+// Spans decomposes the query box (clipped to the curve's grid) into a
+// minimal sorted list of index spans. It walks the implicit orthant tree of
+// the curve: an aligned index range of length 2^(dim*level) always covers
+// one axis-aligned cube of side 2^level, so subtrees fully inside the query
+// emit one span and disjoint subtrees are pruned.
+func (c *Curve) Spans(b geometry.BBox) []Span {
+	query, ok := b.Intersect(c.Domain())
+	if !ok {
+		return nil
+	}
+	var spans []Span
+	c.spanWalk(0, c.bits, query, &spans)
+	return MergeSpans(spans)
+}
+
+// spanWalk visits the orthant subtree whose indices start at start with
+// side 2^level, appending covered spans.
+func (c *Curve) spanWalk(start uint64, level int, query geometry.BBox, spans *[]Span) {
+	length := uint64(1) << uint(c.dim*level)
+	side := 1 << uint(level)
+	// The cube covered by this index range is the alignment cube of any
+	// point in it.
+	corner := c.Decode(start)
+	cell := geometry.BBox{Min: make(geometry.Point, c.dim), Max: make(geometry.Point, c.dim)}
+	for d := 0; d < c.dim; d++ {
+		cell.Min[d] = corner[d] &^ (side - 1)
+		cell.Max[d] = cell.Min[d] + side
+	}
+	inter, ok := cell.Intersect(query)
+	if !ok {
+		return
+	}
+	if inter.Equal(cell) {
+		*spans = append(*spans, Span{Start: start, End: start + length})
+		return
+	}
+	if level == 0 {
+		// Single cell partially matched cannot happen (volume 1), but be
+		// safe: it intersects, so include it.
+		*spans = append(*spans, Span{Start: start, End: start + 1})
+		return
+	}
+	childLen := length >> uint(c.dim)
+	for j := uint64(0); j < (1 << uint(c.dim)); j++ {
+		c.spanWalk(start+j*childLen, level-1, query, spans)
+	}
+}
+
+// MergeSpans sorts spans and merges adjacent or overlapping ones.
+func MergeSpans(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s.Start <= last.End {
+			if s.End > last.End {
+				last.End = s.End
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalLen sums the lengths of all spans.
+func TotalLen(spans []Span) uint64 {
+	var n uint64
+	for _, s := range spans {
+		n += s.Len()
+	}
+	return n
+}
+
+// RowMajor is a naive row-major (last dimension fastest) linearizer over
+// the same padded cubic grid as Curve. It exists to quantify, in the
+// ablation benchmarks, how much the Hilbert curve reduces the number of
+// spans per box query.
+type RowMajor struct {
+	dim  int
+	bits int
+}
+
+// NewRowMajor creates a row-major linearizer; the parameter constraints
+// match NewCurve.
+func NewRowMajor(dim, bits int) (*RowMajor, error) {
+	if dim < 1 || bits < 1 || dim*bits > 63 {
+		return nil, fmt.Errorf("sfc: invalid row-major parameters dim=%d bits=%d", dim, bits)
+	}
+	return &RowMajor{dim: dim, bits: bits}, nil
+}
+
+// Dim returns the dimensionality.
+func (r *RowMajor) Dim() int { return r.dim }
+
+// Bits returns the bits per dimension.
+func (r *RowMajor) Bits() int { return r.bits }
+
+// Total returns the index-space size.
+func (r *RowMajor) Total() uint64 { return 1 << uint(r.dim*r.bits) }
+
+// Domain returns the cubic grid covered by the linearizer.
+func (r *RowMajor) Domain() geometry.BBox {
+	size := make([]int, r.dim)
+	for d := range size {
+		size[d] = 1 << uint(r.bits)
+	}
+	return geometry.BoxFromSize(size)
+}
+
+// Encode maps a point to its row-major index.
+func (r *RowMajor) Encode(p geometry.Point) uint64 {
+	if len(p) != r.dim {
+		panic(fmt.Sprintf("sfc: point dimension %d, linearizer dimension %d", len(p), r.dim))
+	}
+	var idx uint64
+	for d := 0; d < r.dim; d++ {
+		if p[d] < 0 || p[d] >= (1<<uint(r.bits)) {
+			panic(fmt.Sprintf("sfc: coordinate %d out of range", p[d]))
+		}
+		idx = (idx << uint(r.bits)) | uint64(p[d])
+	}
+	return idx
+}
+
+// Decode maps a row-major index back to its point.
+func (r *RowMajor) Decode(idx uint64) geometry.Point {
+	if idx >= r.Total() {
+		panic(fmt.Sprintf("sfc: index %d out of range", idx))
+	}
+	p := make(geometry.Point, r.dim)
+	mask := uint64(1<<uint(r.bits)) - 1
+	for d := r.dim - 1; d >= 0; d-- {
+		p[d] = int(idx & mask)
+		idx >>= uint(r.bits)
+	}
+	return p
+}
+
+// Spans decomposes a box into row-major index spans: one contiguous run per
+// fixed prefix of leading coordinates.
+func (r *RowMajor) Spans(b geometry.BBox) []Span {
+	query, ok := b.Intersect(r.Domain())
+	if !ok {
+		return nil
+	}
+	// Runs vary along the last dimension; iterate the leading dims.
+	if r.dim == 1 {
+		return []Span{{Start: uint64(query.Min[0]), End: uint64(query.Max[0])}}
+	}
+	prefix := geometry.BBox{Min: query.Min[:r.dim-1], Max: query.Max[:r.dim-1]}
+	var spans []Span
+	last := r.dim - 1
+	prefix.Each(func(p geometry.Point) {
+		full := make(geometry.Point, r.dim)
+		copy(full, p)
+		full[last] = query.Min[last]
+		start := r.Encode(full)
+		spans = append(spans, Span{Start: start, End: start + uint64(query.Size(last))})
+	})
+	return MergeSpans(spans)
+}
+
+// Morton is a Z-order (bit-interleaving) linearizer over the same padded
+// cubic grid. It preserves locality better than row-major but worse than
+// Hilbert (Z-order has long jumps at quadrant boundaries); the ablation
+// benchmarks compare all three.
+type Morton struct {
+	dim  int
+	bits int
+}
+
+// NewMorton creates a Z-order linearizer; parameter constraints match
+// NewCurve.
+func NewMorton(dim, bits int) (*Morton, error) {
+	if dim < 1 || bits < 1 || dim*bits > 63 {
+		return nil, fmt.Errorf("sfc: invalid morton parameters dim=%d bits=%d", dim, bits)
+	}
+	return &Morton{dim: dim, bits: bits}, nil
+}
+
+// Dim returns the dimensionality.
+func (m *Morton) Dim() int { return m.dim }
+
+// Bits returns the bits per dimension.
+func (m *Morton) Bits() int { return m.bits }
+
+// Total returns the index-space size.
+func (m *Morton) Total() uint64 { return 1 << uint(m.dim*m.bits) }
+
+// Domain returns the cubic grid covered by the linearizer.
+func (m *Morton) Domain() geometry.BBox {
+	size := make([]int, m.dim)
+	for d := range size {
+		size[d] = 1 << uint(m.bits)
+	}
+	return geometry.BoxFromSize(size)
+}
+
+// Encode interleaves the coordinate bits: bit l of dimension d lands at
+// index bit l*dim + (dim-1-d).
+func (m *Morton) Encode(p geometry.Point) uint64 {
+	if len(p) != m.dim {
+		panic(fmt.Sprintf("sfc: point dimension %d, linearizer dimension %d", len(p), m.dim))
+	}
+	var idx uint64
+	for d, v := range p {
+		if v < 0 || v >= (1<<uint(m.bits)) {
+			panic(fmt.Sprintf("sfc: coordinate %d out of range", v))
+		}
+		for l := 0; l < m.bits; l++ {
+			bit := (uint64(v) >> uint(l)) & 1
+			idx |= bit << uint(l*m.dim+(m.dim-1-d))
+		}
+	}
+	return idx
+}
+
+// Decode de-interleaves an index back to its point.
+func (m *Morton) Decode(idx uint64) geometry.Point {
+	if idx >= m.Total() {
+		panic(fmt.Sprintf("sfc: index %d out of range", idx))
+	}
+	p := make(geometry.Point, m.dim)
+	for d := 0; d < m.dim; d++ {
+		var v uint64
+		for l := 0; l < m.bits; l++ {
+			bit := (idx >> uint(l*m.dim+(m.dim-1-d))) & 1
+			v |= bit << uint(l)
+		}
+		p[d] = int(v)
+	}
+	return p
+}
+
+// Spans decomposes a box query using the same aligned-orthant walk as the
+// Hilbert curve: every aligned index range of length 2^(dim*level) covers
+// one axis-aligned cube under Z-order too.
+func (m *Morton) Spans(b geometry.BBox) []Span {
+	query, ok := b.Intersect(m.Domain())
+	if !ok {
+		return nil
+	}
+	var spans []Span
+	m.spanWalk(0, m.bits, query, &spans)
+	return MergeSpans(spans)
+}
+
+func (m *Morton) spanWalk(start uint64, level int, query geometry.BBox, spans *[]Span) {
+	length := uint64(1) << uint(m.dim*level)
+	side := 1 << uint(level)
+	corner := m.Decode(start)
+	cell := geometry.BBox{Min: make(geometry.Point, m.dim), Max: make(geometry.Point, m.dim)}
+	for d := 0; d < m.dim; d++ {
+		cell.Min[d] = corner[d] &^ (side - 1)
+		cell.Max[d] = cell.Min[d] + side
+	}
+	inter, ok := cell.Intersect(query)
+	if !ok {
+		return
+	}
+	if inter.Equal(cell) {
+		*spans = append(*spans, Span{Start: start, End: start + length})
+		return
+	}
+	if level == 0 {
+		*spans = append(*spans, Span{Start: start, End: start + 1})
+		return
+	}
+	childLen := length >> uint(m.dim)
+	for j := uint64(0); j < (1 << uint(m.dim)); j++ {
+		m.spanWalk(start+j*childLen, level-1, query, spans)
+	}
+}
+
+var (
+	_ Linearizer = (*Curve)(nil)
+	_ Linearizer = (*RowMajor)(nil)
+	_ Linearizer = (*Morton)(nil)
+)

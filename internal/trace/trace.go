@@ -1,0 +1,95 @@
+// Package trace serializes the transfer flows the framework records so
+// that runs can be archived, diffed and analyzed offline (or fed to
+// external plotting). The format is JSON Lines: one flow object per line,
+// self-describing and stream-appendable.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+// Record is the serialized form of one transfer flow.
+type Record struct {
+	Phase string `json:"phase"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Write streams flows to w as JSON Lines.
+func Write(w io.Writer, flows []cluster.Flow) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, f := range flows {
+		if err := enc.Encode(Record{
+			Phase: f.Phase,
+			Src:   int(f.Src),
+			Dst:   int(f.Dst),
+			Bytes: f.Bytes,
+		}); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a JSON Lines flow trace.
+func Read(r io.Reader) ([]cluster.Flow, error) {
+	dec := json.NewDecoder(r)
+	var out []cluster.Flow
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		if rec.Bytes < 0 {
+			return nil, fmt.Errorf("trace: line %d: negative byte count", len(out)+1)
+		}
+		out = append(out, cluster.Flow{
+			Phase: rec.Phase,
+			Src:   cluster.NodeID(rec.Src),
+			Dst:   cluster.NodeID(rec.Dst),
+			Bytes: rec.Bytes,
+		})
+	}
+}
+
+// PhaseStat summarizes the flows of one phase tag.
+type PhaseStat struct {
+	Phase        string
+	Flows        int
+	NetworkBytes int64
+	LocalBytes   int64
+}
+
+// Summarize aggregates a flow list per phase, sorted by phase name.
+func Summarize(flows []cluster.Flow) []PhaseStat {
+	byPhase := make(map[string]*PhaseStat)
+	for _, f := range flows {
+		st := byPhase[f.Phase]
+		if st == nil {
+			st = &PhaseStat{Phase: f.Phase}
+			byPhase[f.Phase] = st
+		}
+		st.Flows++
+		if f.Src == f.Dst {
+			st.LocalBytes += f.Bytes
+		} else {
+			st.NetworkBytes += f.Bytes
+		}
+	}
+	out := make([]PhaseStat, 0, len(byPhase))
+	for _, st := range byPhase {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}

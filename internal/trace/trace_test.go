@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []cluster.Flow{
+		{Phase: "couple:2:0", Src: 0, Dst: 3, Bytes: 1024},
+		{Phase: "halo:1:0", Src: 2, Dst: 2, Bytes: 64},
+		{Phase: "", Src: 1, Dst: 0, Bytes: 0},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d flows, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip = %v, %v", out, err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"phase":"p","src":0,"dst":1,"bytes":-5}` + "\n")); err == nil {
+		t.Fatal("negative bytes accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	flows := []cluster.Flow{
+		{Phase: "b", Src: 0, Dst: 1, Bytes: 10},
+		{Phase: "a", Src: 1, Dst: 1, Bytes: 5},
+		{Phase: "b", Src: 2, Dst: 2, Bytes: 7},
+		{Phase: "b", Src: 0, Dst: 2, Bytes: 3},
+	}
+	stats := Summarize(flows)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Phase != "a" || stats[0].LocalBytes != 5 || stats[0].NetworkBytes != 0 || stats[0].Flows != 1 {
+		t.Fatalf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Phase != "b" || stats[1].NetworkBytes != 13 || stats[1].LocalBytes != 7 || stats[1].Flows != 3 {
+		t.Fatalf("stats[1] = %+v", stats[1])
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); len(got) != 0 {
+		t.Fatalf("Summarize(nil) = %v", got)
+	}
+}

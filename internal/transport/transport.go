@@ -1,0 +1,294 @@
+// Package transport implements HybridDART, the communication layer of the
+// framework (paper Section III-A). It provides asynchronous point-to-point
+// messaging, an RPC-style call facility, and one-sided remotely accessible
+// buffers with receiver-driven pulls.
+//
+// HybridDART's defining behaviour is dynamic transport selection: a
+// transfer between two cores of the same compute node is performed through
+// intra-node shared memory, while a transfer between cores of different
+// nodes uses the network fabric (RDMA on the paper's Cray XT5). Here both
+// paths are in-process copies; what differs — and what the evaluation
+// measures — is the accounting: every transfer is recorded in the machine's
+// metrics with its medium, traffic class and node endpoints, and the
+// network simulator later replays those flows for timing.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+// Meter carries the classification under which a transfer is recorded.
+type Meter struct {
+	// Phase tags the flow for timing analysis (e.g. "couple:2").
+	Phase string
+	// Class says whether the transfer crosses applications.
+	Class cluster.Class
+	// DstApp is the application id of the receiving task.
+	DstApp int
+}
+
+// Message is a tagged point-to-point payload.
+type Message struct {
+	Src     cluster.CoreID
+	Tag     uint64
+	Payload []byte
+}
+
+// BufKey names a one-sided buffer exposed by a core. Version separates the
+// iterations of iterative applications.
+type BufKey struct {
+	Name    string
+	Version int
+}
+
+// AnySource can be passed to Recv to match a message from any sender.
+const AnySource cluster.CoreID = -1
+
+// Fabric connects all endpoints of a machine.
+type Fabric struct {
+	machine   *cluster.Machine
+	endpoints []*Endpoint
+}
+
+// NewFabric creates a fabric with one endpoint per core of the machine.
+func NewFabric(m *cluster.Machine) *Fabric {
+	f := &Fabric{machine: m, endpoints: make([]*Endpoint, m.TotalCores())}
+	for c := 0; c < m.TotalCores(); c++ {
+		ep := &Endpoint{
+			core:    cluster.CoreID(c),
+			fabric:  f,
+			exports: make(map[BufKey]*export),
+		}
+		ep.inboxCond = sync.NewCond(&ep.mu)
+		ep.exportCond = sync.NewCond(&ep.exportMu)
+		f.endpoints[c] = ep
+	}
+	return f
+}
+
+// Machine returns the underlying machine.
+func (f *Fabric) Machine() *cluster.Machine { return f.machine }
+
+// Endpoint returns the endpoint of core c.
+func (f *Fabric) Endpoint(c cluster.CoreID) *Endpoint {
+	return f.endpoints[int(c)]
+}
+
+// medium classifies a transfer between two cores.
+func (f *Fabric) medium(src, dst cluster.CoreID) cluster.Medium {
+	if f.machine.SameNode(src, dst) {
+		return cluster.SharedMemory
+	}
+	return cluster.Network
+}
+
+// record books a transfer in the machine metrics.
+func (f *Fabric) record(m Meter, src, dst cluster.CoreID, n int64) {
+	f.machine.Metrics().Record(m.Phase, m.Class, f.medium(src, dst), m.DstApp,
+		f.machine.NodeOf(src), f.machine.NodeOf(dst), n)
+}
+
+// export is a one-sided buffer published by a core.
+type export struct {
+	payload any
+}
+
+// Endpoint is the per-core attachment point to the fabric.
+type Endpoint struct {
+	core   cluster.CoreID
+	fabric *Fabric
+
+	mu        sync.Mutex
+	inbox     []Message
+	inboxCond *sync.Cond
+	closed    bool
+
+	exportMu     sync.Mutex
+	exports      map[BufKey]*export
+	exportCond   *sync.Cond
+	exportClosed bool
+
+	handlers map[string]Handler // guarded by handlerMu
+}
+
+// Core returns the core this endpoint belongs to.
+func (ep *Endpoint) Core() cluster.CoreID { return ep.core }
+
+// Send delivers a tagged message to dst asynchronously. The payload is
+// owned by the receiver after the call; callers must not modify it.
+func (ep *Endpoint) Send(dst cluster.CoreID, tag uint64, payload []byte, m Meter) error {
+	if int(dst) < 0 || int(dst) >= len(ep.fabric.endpoints) {
+		return fmt.Errorf("transport: destination core %d out of range", dst)
+	}
+	ep.fabric.record(m, ep.core, dst, int64(len(payload)))
+	de := ep.fabric.endpoints[int(dst)]
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if de.closed {
+		return fmt.Errorf("transport: endpoint %d closed", dst)
+	}
+	de.inbox = append(de.inbox, Message{Src: ep.core, Tag: tag, Payload: payload})
+	de.inboxCond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) is available and returns
+// it. Pass AnySource to match any sender. Messages from the same sender
+// with the same tag are delivered in send order.
+func (ep *Endpoint) Recv(src cluster.CoreID, tag uint64) (Message, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		for i, msg := range ep.inbox {
+			if (src == AnySource || msg.Src == src) && msg.Tag == tag {
+				ep.inbox = append(ep.inbox[:i], ep.inbox[i+1:]...)
+				return msg, nil
+			}
+		}
+		if ep.closed {
+			return Message{}, fmt.Errorf("transport: endpoint %d closed while receiving", ep.core)
+		}
+		ep.inboxCond.Wait()
+	}
+}
+
+// Close wakes all blocked receivers of this endpoint with an error. It is
+// used to tear down a simulation.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	ep.closed = true
+	ep.inboxCond.Broadcast()
+	ep.mu.Unlock()
+	ep.exportMu.Lock()
+	ep.exportClosed = true
+	ep.exportCond.Broadcast()
+	ep.exportMu.Unlock()
+}
+
+// Expose publishes a one-sided buffer under key. Readers on any core can
+// pull from it with Read. Re-exposing an existing key is an error (versions
+// distinguish iterations).
+func (ep *Endpoint) Expose(key BufKey, payload any) error {
+	ep.exportMu.Lock()
+	defer ep.exportMu.Unlock()
+	if _, ok := ep.exports[key]; ok {
+		return fmt.Errorf("transport: buffer %v already exposed on core %d", key, ep.core)
+	}
+	ep.exports[key] = &export{payload: payload}
+	ep.exportCond.Broadcast()
+	return nil
+}
+
+// Unexpose withdraws a published buffer, freeing its slot.
+func (ep *Endpoint) Unexpose(key BufKey) {
+	ep.exportMu.Lock()
+	defer ep.exportMu.Unlock()
+	delete(ep.exports, key)
+}
+
+// Exposed reports whether key is currently published on this endpoint.
+func (ep *Endpoint) Exposed(key BufKey) bool {
+	ep.exportMu.Lock()
+	defer ep.exportMu.Unlock()
+	_, ok := ep.exports[key]
+	return ok
+}
+
+// Read performs a receiver-driven one-sided pull of bytes bytes from the
+// buffer key exposed by owner, blocking until the buffer is published. The
+// read callback receives the owner's payload to copy the needed region out
+// of; the bytes argument is the volume actually moved and is what gets
+// metered.
+func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64, read func(payload any)) error {
+	if int(owner) < 0 || int(owner) >= len(ep.fabric.endpoints) {
+		return fmt.Errorf("transport: owner core %d out of range", owner)
+	}
+	oe := ep.fabric.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	for {
+		if e, ok := oe.exports[key]; ok {
+			payload := e.payload
+			oe.exportMu.Unlock()
+			ep.fabric.record(m, owner, ep.core, bytes)
+			if read != nil {
+				read(payload)
+			}
+			return nil
+		}
+		if oe.exportClosed {
+			oe.exportMu.Unlock()
+			return fmt.Errorf("transport: endpoint %d closed while waiting for %v", owner, key)
+		}
+		oe.exportCond.Wait()
+	}
+}
+
+// TryRead is Read without blocking: it returns false when the buffer is not
+// yet published.
+func (ep *Endpoint) TryRead(owner cluster.CoreID, key BufKey, m Meter, bytes int64, read func(payload any)) (bool, error) {
+	if int(owner) < 0 || int(owner) >= len(ep.fabric.endpoints) {
+		return false, fmt.Errorf("transport: owner core %d out of range", owner)
+	}
+	oe := ep.fabric.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	e, ok := oe.exports[key]
+	var payload any
+	if ok {
+		payload = e.payload
+	}
+	oe.exportMu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	ep.fabric.record(m, owner, ep.core, bytes)
+	if read != nil {
+		read(payload)
+	}
+	return true, nil
+}
+
+// Handler processes an RPC request on the serving core and returns a
+// response. reqBytes/respBytes returned by Call are metered as control
+// traffic.
+type Handler func(src cluster.CoreID, request any) (response any, err error)
+
+// handlerRegistry holds RPC services per endpoint.
+var handlerMu sync.Mutex
+
+// RegisterHandler installs an RPC handler for the named service on this
+// endpoint. It replaces any previous handler with the same name.
+func (ep *Endpoint) RegisterHandler(service string, h Handler) {
+	handlerMu.Lock()
+	defer handlerMu.Unlock()
+	if ep.handlers == nil {
+		ep.handlers = make(map[string]Handler)
+	}
+	ep.handlers[service] = h
+}
+
+// Call performs a synchronous RPC against a service registered on the dst
+// core. reqBytes and respBytes are the metered sizes of the request and
+// response (control traffic is small but crosses the same fabric).
+func (ep *Endpoint) Call(dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error) {
+	if int(dst) < 0 || int(dst) >= len(ep.fabric.endpoints) {
+		return nil, fmt.Errorf("transport: destination core %d out of range", dst)
+	}
+	de := ep.fabric.endpoints[int(dst)]
+	handlerMu.Lock()
+	h := de.handlers[service]
+	handlerMu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("transport: no handler %q on core %d", service, dst)
+	}
+	// Request travels ep -> dst, response dst -> ep.
+	ep.fabric.record(m, ep.core, dst, reqBytes)
+	resp, err := h(ep.core, request)
+	if err != nil {
+		return nil, err
+	}
+	ep.fabric.record(m, dst, ep.core, respBytes)
+	return resp, nil
+}

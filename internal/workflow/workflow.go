@@ -1,0 +1,530 @@
+// Package workflow implements the DAG-based workflow representation of the
+// framework (paper Section III-B, Listing 1).
+//
+// A workflow is a DAG whose vertices are parallel applications, extended
+// with the concept of a "bundle": a group of applications that must be
+// scheduled simultaneously because they are concurrently coupled and
+// exchange data at runtime. Edges represent data dependencies between
+// sequentially coupled applications. Users describe the workflow in a
+// plain-text file:
+//
+//	# Climate Modeling Workflow
+//	APP_ID 1
+//	APP_ID 2
+//	APP_ID 3
+//	PARENT_APPID 1 CHILD_APPID 2
+//	PARENT_APPID 1 CHILD_APPID 3
+//	BUNDLE 1
+//	BUNDLE 2
+//	BUNDLE 3
+//
+// Applications not named in any BUNDLE line form implicit singleton
+// bundles. The engine schedules a bundle once every parent application of
+// every member has completed.
+package workflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// DecompSpec is a declared data decomposition of one application
+// (Section III-B: domain size, process layout, distribution type, block
+// size).
+type DecompSpec struct {
+	Kind  decomp.Kind
+	Grid  []int
+	Block []int // block-cyclic only
+}
+
+// DAG is a parsed and validated workflow description.
+type DAG struct {
+	// Apps holds the declared application ids in declaration order.
+	Apps []int
+	// Edges are (parent, child) sequential-coupling dependencies.
+	Edges [][2]int
+	// Bundles groups applications that are scheduled simultaneously; every
+	// app belongs to exactly one bundle.
+	Bundles [][]int
+	// Domain is the coupled data domain size declared with a DOMAIN
+	// directive (nil when the file declares none).
+	Domain []int
+	// Decomps holds the per-application DECOMP declarations.
+	Decomps map[int]DecompSpec
+}
+
+// Parse reads a workflow description in the Listing 1 format. Lines
+// starting with '#' and blank lines are ignored.
+func Parse(r io.Reader) (*DAG, error) {
+	d := &DAG{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "APP_ID":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("workflow: line %d: APP_ID takes one id", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: bad app id %q", lineNo, fields[1])
+			}
+			d.Apps = append(d.Apps, id)
+		case "PARENT_APPID":
+			if len(fields) != 4 || fields[2] != "CHILD_APPID" {
+				return nil, fmt.Errorf("workflow: line %d: want PARENT_APPID <id> CHILD_APPID <id>", lineNo)
+			}
+			p, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: bad parent id %q", lineNo, fields[1])
+			}
+			c, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: bad child id %q", lineNo, fields[3])
+			}
+			d.Edges = append(d.Edges, [2]int{p, c})
+		case "BUNDLE":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("workflow: line %d: BUNDLE needs at least one app", lineNo)
+			}
+			var bundle []int
+			for _, f := range fields[1:] {
+				id, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("workflow: line %d: bad app id %q", lineNo, f)
+				}
+				bundle = append(bundle, id)
+			}
+			d.Bundles = append(d.Bundles, bundle)
+		case "DOMAIN":
+			if d.Domain != nil {
+				return nil, fmt.Errorf("workflow: line %d: DOMAIN declared twice", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("workflow: line %d: DOMAIN needs at least one extent", lineNo)
+			}
+			sizes, err := parseIntFields(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %v", lineNo, err)
+			}
+			d.Domain = sizes
+		case "DECOMP":
+			// DECOMP <appid> <kind> <grid...> [BLOCK <block...>]
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("workflow: line %d: want DECOMP <appid> <kind> <grid...> [BLOCK <block...>]", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: bad app id %q", lineNo, fields[1])
+			}
+			kind, err := decomp.ParseKind(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %v", lineNo, err)
+			}
+			rest := fields[3:]
+			var gridFields, blockFields []string
+			for i, f := range rest {
+				if f == "BLOCK" {
+					gridFields, blockFields = rest[:i], rest[i+1:]
+					break
+				}
+			}
+			if gridFields == nil {
+				gridFields = rest
+			}
+			grid, err := parseIntFields(gridFields)
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %v", lineNo, err)
+			}
+			var block []int
+			if blockFields != nil {
+				block, err = parseIntFields(blockFields)
+				if err != nil {
+					return nil, fmt.Errorf("workflow: line %d: %v", lineNo, err)
+				}
+			}
+			if d.Decomps == nil {
+				d.Decomps = make(map[int]DecompSpec)
+			}
+			if _, dup := d.Decomps[id]; dup {
+				return nil, fmt.Errorf("workflow: line %d: DECOMP for app %d declared twice", lineNo, id)
+			}
+			d.Decomps[id] = DecompSpec{Kind: kind, Grid: grid, Block: block}
+		default:
+			return nil, fmt.Errorf("workflow: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workflow: %w", err)
+	}
+	if err := d.normalize(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// New builds a DAG programmatically and validates it.
+func New(apps []int, edges [][2]int, bundles [][]int) (*DAG, error) {
+	d := &DAG{
+		Apps:    append([]int(nil), apps...),
+		Edges:   append([][2]int(nil), edges...),
+		Bundles: append([][]int(nil), bundles...),
+	}
+	if err := d.normalize(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// normalize validates the DAG and completes implicit singleton bundles.
+func (d *DAG) normalize() error {
+	if len(d.Apps) == 0 {
+		return fmt.Errorf("workflow: no applications declared")
+	}
+	declared := make(map[int]bool, len(d.Apps))
+	for _, a := range d.Apps {
+		if declared[a] {
+			return fmt.Errorf("workflow: application %d declared twice", a)
+		}
+		declared[a] = true
+	}
+	for _, e := range d.Edges {
+		if !declared[e[0]] {
+			return fmt.Errorf("workflow: edge references undeclared parent %d", e[0])
+		}
+		if !declared[e[1]] {
+			return fmt.Errorf("workflow: edge references undeclared child %d", e[1])
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("workflow: self dependency on application %d", e[0])
+		}
+	}
+	inBundle := make(map[int]bool)
+	for _, b := range d.Bundles {
+		for _, a := range b {
+			if !declared[a] {
+				return fmt.Errorf("workflow: bundle references undeclared application %d", a)
+			}
+			if inBundle[a] {
+				return fmt.Errorf("workflow: application %d appears in two bundles", a)
+			}
+			inBundle[a] = true
+		}
+	}
+	for _, a := range d.Apps {
+		if !inBundle[a] {
+			d.Bundles = append(d.Bundles, []int{a})
+		}
+	}
+	for id, spec := range d.Decomps {
+		if !declared[id] {
+			return fmt.Errorf("workflow: DECOMP references undeclared application %d", id)
+		}
+		if d.Domain != nil && len(spec.Grid) != len(d.Domain) {
+			return fmt.Errorf("workflow: app %d grid rank %d != domain rank %d", id, len(spec.Grid), len(d.Domain))
+		}
+		if spec.Kind == decomp.BlockCyclic && len(spec.Block) != len(spec.Grid) {
+			return fmt.Errorf("workflow: app %d block-cyclic needs a BLOCK of rank %d", id, len(spec.Grid))
+		}
+	}
+	// Intra-bundle dependencies are contradictory (the bundle must be
+	// scheduled simultaneously).
+	bundleOf := d.bundleOf()
+	for _, e := range d.Edges {
+		if bundleOf[e[0]] == bundleOf[e[1]] {
+			return fmt.Errorf("workflow: dependency %d->%d inside one bundle", e[0], e[1])
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// bundleOf maps app id to its bundle index.
+func (d *DAG) bundleOf() map[int]int {
+	out := make(map[int]int)
+	for i, b := range d.Bundles {
+		for _, a := range b {
+			out[a] = i
+		}
+	}
+	return out
+}
+
+// Parents returns the sorted parent applications of an app.
+func (d *DAG) Parents(app int) []int {
+	var out []int
+	for _, e := range d.Edges {
+		if e[1] == app {
+			out = append(out, e[0])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Children returns the sorted child applications of an app.
+func (d *DAG) Children(app int) []int {
+	var out []int
+	for _, e := range d.Edges {
+		if e[0] == app {
+			out = append(out, e[1])
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bundleDeps returns, per bundle index, the set of bundle indices it
+// depends on.
+func (d *DAG) bundleDeps() [][]int {
+	bundleOf := d.bundleOf()
+	depSet := make([]map[int]bool, len(d.Bundles))
+	for i := range depSet {
+		depSet[i] = make(map[int]bool)
+	}
+	for _, e := range d.Edges {
+		pb, cb := bundleOf[e[0]], bundleOf[e[1]]
+		if pb != cb {
+			depSet[cb][pb] = true
+		}
+	}
+	out := make([][]int, len(d.Bundles))
+	for i, s := range depSet {
+		for b := range s {
+			out[i] = append(out[i], b)
+		}
+		sort.Ints(out[i])
+	}
+	return out
+}
+
+// TopoOrder returns the bundle indices in a valid execution order, erring
+// on cycles.
+func (d *DAG) TopoOrder() ([]int, error) {
+	deps := d.bundleDeps()
+	n := len(d.Bundles)
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for b, ds := range deps {
+		indeg[b] = len(ds)
+		for _, p := range ds {
+			dependents[p] = append(dependents[p], b)
+		}
+	}
+	var queue []int
+	for b := 0; b < n; b++ {
+		if indeg[b] == 0 {
+			queue = append(queue, b)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		sort.Ints(queue)
+		b := queue[0]
+		queue = queue[1:]
+		order = append(order, b)
+		for _, c := range dependents[b] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("workflow: dependency cycle among bundles")
+	}
+	return order, nil
+}
+
+// Decompositions materializes the declared DECOMP specs over the declared
+// (or supplied) domain. domainOverride may be nil when the file has a
+// DOMAIN directive.
+func (d *DAG) Decompositions(domainOverride []int) (map[int]*decomp.Decomposition, error) {
+	domain := d.Domain
+	if domainOverride != nil {
+		domain = domainOverride
+	}
+	if domain == nil {
+		return nil, fmt.Errorf("workflow: no DOMAIN declared and no override supplied")
+	}
+	out := make(map[int]*decomp.Decomposition, len(d.Decomps))
+	for id, spec := range d.Decomps {
+		dc, err := decomp.New(spec.Kind, geometry.BoxFromSize(domain), spec.Grid, spec.Block)
+		if err != nil {
+			return nil, fmt.Errorf("workflow: app %d: %w", id, err)
+		}
+		out[id] = dc
+	}
+	return out, nil
+}
+
+func parseIntFields(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// String renders the DAG back in the description format.
+func (d *DAG) String() string {
+	var sb strings.Builder
+	if d.Domain != nil {
+		fmt.Fprintf(&sb, "DOMAIN %s\n", joinInts(d.Domain))
+	}
+	for _, a := range d.Apps {
+		fmt.Fprintf(&sb, "APP_ID %d\n", a)
+	}
+	decompIDs := make([]int, 0, len(d.Decomps))
+	for id := range d.Decomps {
+		decompIDs = append(decompIDs, id)
+	}
+	sort.Ints(decompIDs)
+	for _, id := range decompIDs {
+		spec := d.Decomps[id]
+		fmt.Fprintf(&sb, "DECOMP %d %s %s", id, spec.Kind, joinInts(spec.Grid))
+		if len(spec.Block) > 0 {
+			fmt.Fprintf(&sb, " BLOCK %s", joinInts(spec.Block))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, e := range d.Edges {
+		fmt.Fprintf(&sb, "PARENT_APPID %d CHILD_APPID %d\n", e[0], e[1])
+	}
+	for _, b := range d.Bundles {
+		fmt.Fprintf(&sb, "BUNDLE %s\n", joinInts(b))
+	}
+	return sb.String()
+}
+
+func joinInts(vals []int) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// State tracks a bundle through the engine.
+type State int
+
+// Bundle states.
+const (
+	Pending State = iota
+	Running
+	Done
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Engine drives the enactment of a workflow: it hands out bundles whose
+// dependencies are satisfied and tracks completion. It is the bookkeeping
+// half of the paper's Workflow Engine; the runtime package supplies the
+// mapping and launching half.
+type Engine struct {
+	dag   *DAG
+	deps  [][]int
+	state []State
+}
+
+// NewEngine creates an engine over a validated DAG.
+func NewEngine(d *DAG) *Engine {
+	return &Engine{dag: d, deps: d.bundleDeps(), state: make([]State, len(d.Bundles))}
+}
+
+// DAG returns the engine's workflow.
+func (e *Engine) DAG() *DAG { return e.dag }
+
+// State returns the state of bundle b.
+func (e *Engine) State(b int) State { return e.state[b] }
+
+// Ready returns the pending bundles whose dependencies are all done.
+func (e *Engine) Ready() []int {
+	var out []int
+	for b := range e.state {
+		if e.state[b] != Pending {
+			continue
+		}
+		ok := true
+		for _, p := range e.deps[b] {
+			if e.state[p] != Done {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Start marks a bundle running; it must be ready.
+func (e *Engine) Start(b int) error {
+	if b < 0 || b >= len(e.state) {
+		return fmt.Errorf("workflow: bundle %d out of range", b)
+	}
+	if e.state[b] != Pending {
+		return fmt.Errorf("workflow: bundle %d is %s, not pending", b, e.state[b])
+	}
+	for _, p := range e.deps[b] {
+		if e.state[p] != Done {
+			return fmt.Errorf("workflow: bundle %d dependency %d not done", b, p)
+		}
+	}
+	e.state[b] = Running
+	return nil
+}
+
+// Complete marks a running bundle done.
+func (e *Engine) Complete(b int) error {
+	if b < 0 || b >= len(e.state) {
+		return fmt.Errorf("workflow: bundle %d out of range", b)
+	}
+	if e.state[b] != Running {
+		return fmt.Errorf("workflow: bundle %d is %s, not running", b, e.state[b])
+	}
+	e.state[b] = Done
+	return nil
+}
+
+// Finished reports whether every bundle is done.
+func (e *Engine) Finished() bool {
+	for _, s := range e.state {
+		if s != Done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,316 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+const onlineProcessing = `
+# Online Data Processing Workflow
+# Simulation code has appid=1
+APP_ID 1
+APP_ID 2
+
+BUNDLE 1 2
+`
+
+const climateModeling = `
+# Climate Modeling Workflow
+APP_ID 1
+APP_ID 2
+APP_ID 3
+PARENT_APPID 1 CHILD_APPID 2
+PARENT_APPID 1 CHILD_APPID 3
+BUNDLE 1
+BUNDLE 2
+BUNDLE 3
+`
+
+func TestParseOnlineProcessing(t *testing.T) {
+	d, err := Parse(strings.NewReader(onlineProcessing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Apps) != 2 || len(d.Bundles) != 1 || len(d.Edges) != 0 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if d.Bundles[0][0] != 1 || d.Bundles[0][1] != 2 {
+		t.Fatalf("bundle = %v", d.Bundles[0])
+	}
+}
+
+func TestParseClimateModeling(t *testing.T) {
+	d, err := Parse(strings.NewReader(climateModeling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Apps) != 3 || len(d.Bundles) != 3 || len(d.Edges) != 2 {
+		t.Fatalf("parsed %+v", d)
+	}
+	if got := d.Parents(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Parents(2) = %v", got)
+	}
+	if got := d.Children(1); len(got) != 2 {
+		t.Fatalf("Children(1) = %v", got)
+	}
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bundle 0 = {1} must come first.
+	if order[0] != 0 {
+		t.Fatalf("TopoOrder = %v", order)
+	}
+}
+
+func TestImplicitSingletonBundles(t *testing.T) {
+	d, err := Parse(strings.NewReader("APP_ID 5\nAPP_ID 6\nBUNDLE 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bundles) != 2 {
+		t.Fatalf("bundles = %v", d.Bundles)
+	}
+	if d.Bundles[1][0] != 6 {
+		t.Fatalf("implicit bundle = %v", d.Bundles[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"bad directive", "FROB 1\n"},
+		{"bad app id", "APP_ID x\n"},
+		{"app id arity", "APP_ID 1 2\n"},
+		{"dup app", "APP_ID 1\nAPP_ID 1\n"},
+		{"edge syntax", "APP_ID 1\nPARENT_APPID 1 KID 2\n"},
+		{"edge unknown parent", "APP_ID 1\nPARENT_APPID 9 CHILD_APPID 1\n"},
+		{"edge unknown child", "APP_ID 1\nPARENT_APPID 1 CHILD_APPID 9\n"},
+		{"self edge", "APP_ID 1\nPARENT_APPID 1 CHILD_APPID 1\n"},
+		{"bundle empty", "APP_ID 1\nBUNDLE\n"},
+		{"bundle unknown", "APP_ID 1\nBUNDLE 2\n"},
+		{"bundle dup membership", "APP_ID 1\nBUNDLE 1\nBUNDLE 1\n"},
+		{"intra bundle edge", "APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\nBUNDLE 1 2\n"},
+		{"cycle", "APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\nPARENT_APPID 2 CHILD_APPID 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	d, err := Parse(strings.NewReader(climateModeling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(strings.NewReader(d.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, d.String())
+	}
+	if len(d2.Apps) != len(d.Apps) || len(d2.Edges) != len(d.Edges) || len(d2.Bundles) != len(d.Bundles) {
+		t.Fatalf("round trip lost structure: %+v vs %+v", d, d2)
+	}
+}
+
+func TestNewProgrammatic(t *testing.T) {
+	d, err := New([]int{1, 2}, [][2]int{{1, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Bundles) != 2 {
+		t.Fatalf("bundles = %v", d.Bundles)
+	}
+	if _, err := New(nil, nil, nil); err == nil {
+		t.Fatal("empty app list accepted")
+	}
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	d, err := Parse(strings.NewReader(climateModeling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	ready := e.Ready()
+	if len(ready) != 1 || ready[0] != 0 {
+		t.Fatalf("initial Ready = %v", ready)
+	}
+	// Cannot start a blocked bundle.
+	if err := e.Start(1); err == nil {
+		t.Fatal("started blocked bundle")
+	}
+	if err := e.Start(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(0); err == nil {
+		t.Fatal("double start accepted")
+	}
+	if len(e.Ready()) != 0 {
+		t.Fatalf("Ready during run = %v", e.Ready())
+	}
+	if err := e.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Complete(0); err == nil {
+		t.Fatal("double complete accepted")
+	}
+	ready = e.Ready()
+	if len(ready) != 2 {
+		t.Fatalf("Ready after parent = %v", ready)
+	}
+	for _, b := range ready {
+		if err := e.Start(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Complete(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Finished() {
+		t.Fatal("engine not finished")
+	}
+	if e.State(2) != Done {
+		t.Fatalf("State(2) = %v", e.State(2))
+	}
+}
+
+func TestEngineRangeErrors(t *testing.T) {
+	d, _ := New([]int{1}, nil, nil)
+	e := NewEngine(d)
+	if err := e.Start(-1); err == nil {
+		t.Error("negative bundle accepted")
+	}
+	if err := e.Complete(5); err == nil {
+		t.Error("out-of-range bundle accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Pending.String() != "pending" || Running.String() != "running" || Done.String() != "done" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestDiamondDependency(t *testing.T) {
+	// 1 -> 2, 1 -> 3, 2 -> 4, 3 -> 4.
+	d, err := New([]int{1, 2, 3, 4}, [][2]int{{1, 2}, {1, 3}, {2, 4}, {3, 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(d)
+	run := func(b int) {
+		t.Helper()
+		if err := e.Start(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Complete(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(e.Ready()[0]) // bundle of app 1
+	ready := e.Ready()
+	if len(ready) != 2 {
+		t.Fatalf("after 1: ready = %v", ready)
+	}
+	run(ready[0])
+	// App 4's bundle still blocked by the other middle app.
+	for _, b := range e.Ready() {
+		for _, a := range d.Bundles[b] {
+			if a == 4 {
+				t.Fatal("diamond bottom ready too early")
+			}
+		}
+	}
+	run(e.Ready()[0])
+	run(e.Ready()[0])
+	if !e.Finished() {
+		t.Fatal("diamond not finished")
+	}
+}
+
+const fullWorkflow = `
+DOMAIN 32 32 32
+APP_ID 1
+APP_ID 2
+DECOMP 1 blocked 4 4 2
+DECOMP 2 block-cyclic 2 2 2 BLOCK 4 4 4
+BUNDLE 1 2
+`
+
+func TestParseDomainAndDecomps(t *testing.T) {
+	d, err := Parse(strings.NewReader(fullWorkflow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Domain) != 3 || d.Domain[0] != 32 {
+		t.Fatalf("Domain = %v", d.Domain)
+	}
+	if len(d.Decomps) != 2 {
+		t.Fatalf("Decomps = %v", d.Decomps)
+	}
+	spec := d.Decomps[2]
+	if len(spec.Block) != 3 || spec.Block[0] != 4 {
+		t.Fatalf("block spec = %+v", spec)
+	}
+	decomps, err := d.Decompositions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decomps[1].NumTasks() != 32 || decomps[2].NumTasks() != 8 {
+		t.Fatalf("task counts = %d, %d", decomps[1].NumTasks(), decomps[2].NumTasks())
+	}
+	// Round trip through String.
+	d2, err := Parse(strings.NewReader(d.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, d.String())
+	}
+	if len(d2.Decomps) != 2 || d2.Domain == nil {
+		t.Fatalf("round trip lost decomp info: %+v", d2)
+	}
+}
+
+func TestDecompositionsOverride(t *testing.T) {
+	d, err := Parse(strings.NewReader("APP_ID 1\nDECOMP 1 blocked 2 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decompositions(nil); err == nil {
+		t.Fatal("missing domain accepted")
+	}
+	decomps, err := d.Decompositions([]int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decomps[1].NumTasks() != 4 {
+		t.Fatalf("NumTasks = %d", decomps[1].NumTasks())
+	}
+}
+
+func TestParseDecompErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"domain twice", "DOMAIN 8 8\nDOMAIN 8 8\nAPP_ID 1\n"},
+		{"domain empty", "DOMAIN\nAPP_ID 1\n"},
+		{"domain garbage", "DOMAIN x\nAPP_ID 1\n"},
+		{"decomp arity", "APP_ID 1\nDECOMP 1 blocked\n"},
+		{"decomp bad id", "APP_ID 1\nDECOMP x blocked 2\n"},
+		{"decomp bad kind", "APP_ID 1\nDECOMP 1 fancy 2\n"},
+		{"decomp undeclared app", "APP_ID 1\nDECOMP 2 blocked 2\n"},
+		{"decomp twice", "APP_ID 1\nDECOMP 1 blocked 2\nDECOMP 1 blocked 2\n"},
+		{"decomp grid rank", "DOMAIN 8 8\nAPP_ID 1\nDECOMP 1 blocked 2\n"},
+		{"block rank", "APP_ID 1\nDECOMP 1 block-cyclic 2 2 BLOCK 4\n"},
+		{"bad grid int", "APP_ID 1\nDECOMP 1 blocked a b\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
