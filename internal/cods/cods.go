@@ -25,8 +25,10 @@ package cods
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/decomp"
@@ -57,6 +59,20 @@ type Space struct {
 	memLimit int64
 	memMu    sync.Mutex
 	memUsed  map[cluster.CoreID]int64
+
+	// pullWorkers bounds the concurrency of communication-schedule
+	// execution; <= 0 selects runtime.GOMAXPROCS(0). Stored atomically so
+	// handles on other goroutines observe tuning immediately.
+	pullWorkers atomic.Int32
+
+	// Schedule invalidation state: epoch is bumped by Clear (everything
+	// stale), varGen[v] by DiscardSequential of variable v (that
+	// variable's cached schedules stale). Handles stamp cached schedules
+	// with both and recompute when either moved, so a discard-then-restage
+	// at a different owner can never be served from a stale schedule.
+	invMu  sync.Mutex
+	epoch  uint64
+	varGen map[string]uint64
 }
 
 // NewSpace builds a CoDS over a fabric for a coupled data domain. The
@@ -70,7 +86,37 @@ func NewSpace(f *transport.Fabric, domain geometry.BBox) (*Space, error) {
 		fabric:  f,
 		lookup:  dht.NewService(f, curve),
 		memUsed: make(map[cluster.CoreID]int64),
+		varGen:  make(map[string]uint64),
 	}, nil
+}
+
+// SetPullWorkers bounds the number of concurrent transfers the pull engine
+// issues per get. n <= 0 restores the default, runtime.GOMAXPROCS(0);
+// n == 1 forces the serial pull path (the ablation baseline).
+func (sp *Space) SetPullWorkers(n int) { sp.pullWorkers.Store(int32(n)) }
+
+// PullWorkers returns the effective pull concurrency bound.
+func (sp *Space) PullWorkers() int {
+	if n := int(sp.pullWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// InvalidateSchedules marks every cached communication schedule of a
+// variable stale, forcing the next get to re-query the lookup service.
+func (sp *Space) InvalidateSchedules(v string) {
+	sp.invMu.Lock()
+	sp.varGen[v]++
+	sp.invMu.Unlock()
+}
+
+// scheduleStamp returns the invalidation stamp (global epoch, variable
+// generation) a schedule for v computed now would carry.
+func (sp *Space) scheduleStamp(v string) (epoch, gen uint64) {
+	sp.invMu.Lock()
+	defer sp.invMu.Unlock()
+	return sp.epoch, sp.varGen[v]
 }
 
 // SetMemoryLimit bounds the per-core staging memory in bytes (0 removes
@@ -117,8 +163,15 @@ func (sp *Space) Lookup() *dht.Service { return sp.lookup }
 // Fabric returns the underlying transport fabric.
 func (sp *Space) Fabric() *transport.Fabric { return sp.fabric }
 
-// Clear drops all lookup entries (between independent experiments).
-func (sp *Space) Clear() { sp.lookup.Clear() }
+// Clear drops all lookup entries (between independent experiments) and
+// invalidates every cached communication schedule.
+func (sp *Space) Clear() {
+	sp.lookup.Clear()
+	sp.invMu.Lock()
+	sp.epoch++
+	sp.varGen = make(map[string]uint64)
+	sp.invMu.Unlock()
+}
 
 // transfer is one element of a communication schedule: pull the cells of
 // Sub out of the block StoredBox exposed by core Owner.
@@ -128,6 +181,14 @@ type transfer struct {
 	Sub       geometry.BBox
 }
 
+// schedEntry is one cached communication schedule together with the
+// invalidation stamp it was computed under.
+type schedEntry struct {
+	sched      []transfer
+	v          string
+	epoch, gen uint64
+}
+
 // Handle is an execution client's per-core view of the space.
 type Handle struct {
 	sp    *Space
@@ -135,11 +196,15 @@ type Handle struct {
 	app   int
 	phase string
 
-	// schedCache caches communication schedules keyed by variable and
-	// query region; coupling patterns repeat across iterations so the DHT
-	// query and schedule computation are paid once (Section IV-A). The
-	// ablation benchmarks disable it.
-	schedCache   map[string][]transfer
+	// schedCache caches communication schedules keyed by operator, app,
+	// variable and query region; coupling patterns repeat across
+	// iterations so the DHT query and schedule computation are paid once
+	// (Section IV-A). The phase tag is deliberately not part of the key:
+	// it is a metering label that rotates every iteration and schedules do
+	// not depend on it. Entries carry the space's invalidation stamp and
+	// are dropped when Clear or DiscardSequential moves it. The ablation
+	// benchmarks disable the cache.
+	schedCache   map[string]schedEntry
 	CacheEnabled bool
 
 	// stats
@@ -155,7 +220,7 @@ func (sp *Space) HandleAt(core cluster.CoreID, app int, phase string) *Handle {
 		core:         core,
 		app:          app,
 		phase:        phase,
-		schedCache:   make(map[string][]transfer),
+		schedCache:   make(map[string]schedEntry),
 		CacheEnabled: true,
 	}
 }
@@ -225,11 +290,12 @@ func (h *Handle) GetConcurrent(info ProducerInfo, v string, version int, region 
 	if region.Empty() {
 		return nil, fmt.Errorf("cods: empty get region for %q", v)
 	}
-	key := "cont|" + v + "|" + region.String()
-	sched, ok := h.cachedSchedule(key)
+	key := h.schedKey("cont", v, region)
+	sched, ok := h.cachedSchedule(key, v)
 	if !ok {
+		epoch, gen := h.sp.scheduleStamp(v)
 		sched = h.concurrentSchedule(info, region)
-		h.storeSchedule(key, sched)
+		h.storeSchedule(key, v, sched, epoch, gen)
 	}
 	return h.pull(v, version, region, sched)
 }
@@ -250,7 +316,55 @@ func (h *Handle) concurrentSchedule(info ProducerInfo, region geometry.BBox) []t
 			})
 		}
 	}
-	return sched
+	return normalizeSchedule(sched)
+}
+
+// normalizeSchedule coalesces transfers that pull from the same stored
+// block of the same owner and whose sub-boxes abut in the row-major layout
+// into single larger reads, then orders the result deterministically
+// (owner, then sub-box corners). Coalescing preserves the total cell
+// volume exactly, so the byte accounting of a normalized schedule is
+// identical to the raw one — there are just fewer, larger pulls.
+func normalizeSchedule(sched []transfer) []transfer {
+	if len(sched) < 2 {
+		return sched
+	}
+	type group struct {
+		owner  cluster.CoreID
+		stored geometry.BBox
+		subs   []geometry.BBox
+	}
+	var groups []*group
+	index := make(map[string]*group, len(sched))
+	for _, tr := range sched {
+		k := fmt.Sprintf("%d|%s", tr.Owner, tr.StoredBox.String())
+		g := index[k]
+		if g == nil {
+			g = &group{owner: tr.Owner, stored: tr.StoredBox}
+			index[k] = g
+			groups = append(groups, g)
+		}
+		g.subs = append(g.subs, tr.Sub)
+	}
+	out := sched[:0]
+	for _, g := range groups {
+		for _, sub := range geometry.Coalesce(g.subs) {
+			out = append(out, transfer{Owner: g.owner, StoredBox: g.stored, Sub: sub})
+		}
+	}
+	sortSchedule(out)
+	return out
+}
+
+// sortSchedule orders transfers deterministically: by owner, then by the
+// sub-box corners (numeric, not the allocation-heavy String rendering).
+func sortSchedule(sched []transfer) {
+	sort.Slice(sched, func(i, j int) bool {
+		if sched[i].Owner != sched[j].Owner {
+			return sched[i].Owner < sched[j].Owner
+		}
+		return geometry.Compare(sched[i].Sub, sched[j].Sub) < 0
+	})
 }
 
 // PutSequential stores one block of a variable in the space: the data
@@ -280,15 +394,16 @@ func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]f
 	if region.Empty() {
 		return nil, fmt.Errorf("cods: empty get region for %q", v)
 	}
-	key := "seq|" + v + "|" + region.String()
-	sched, ok := h.cachedSchedule(key)
+	key := h.schedKey("seq", v, region)
+	sched, ok := h.cachedSchedule(key, v)
 	if !ok {
+		epoch, gen := h.sp.scheduleStamp(v)
 		var err error
 		sched, err = h.sequentialSchedule(v, version, region)
 		if err != nil {
 			return nil, err
 		}
-		h.storeSchedule(key, sched)
+		h.storeSchedule(key, v, sched, epoch, gen)
 	}
 	return h.pull(v, version, region, sched)
 }
@@ -314,34 +429,74 @@ func (h *Handle) sequentialSchedule(v string, version int, region geometry.BBox)
 		return nil, fmt.Errorf("cods: %q v%d: stored data covers %d of %d cells of %v",
 			v, version, covered, region.Volume(), region)
 	}
-	// Deterministic pull order.
-	sort.Slice(sched, func(i, j int) bool {
-		if sched[i].Owner != sched[j].Owner {
-			return sched[i].Owner < sched[j].Owner
-		}
-		return sched[i].Sub.String() < sched[j].Sub.String()
-	})
-	return sched, nil
+	return normalizeSchedule(sched), nil
 }
 
 // pull executes a schedule: a receiver-driven pull of every piece,
-// assembling the row-major result.
+// assembling the row-major result. Transfers are issued by a bounded pool
+// of workers (Space.SetPullWorkers, default GOMAXPROCS); since schedule
+// sub-boxes are disjoint, each worker assembles into its own disjoint
+// cells of the output without locking, so the result is byte-identical to
+// the serial path regardless of completion order.
 func (h *Handle) pull(v string, version int, region geometry.BBox, sched []transfer) ([]float64, error) {
 	out := make([]float64, region.Volume())
 	m := h.meter()
-	for _, tr := range sched {
-		tr := tr
-		err := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
-			tr.Sub.Volume()*ElemSize, func(payload any) {
-				obj := payload.(*StoredObject)
-				copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
-			})
-		if err != nil {
-			return nil, fmt.Errorf("cods: pulling %v of %q v%d from core %d: %w",
-				tr.Sub, v, version, tr.Owner, err)
+	workers := h.sp.PullWorkers()
+	if workers > len(sched) {
+		workers = len(sched)
+	}
+	if workers <= 1 {
+		for _, tr := range sched {
+			if err := h.pullOne(out, region, v, version, tr, m); err != nil {
+				return nil, err
+			}
 		}
+		return out, nil
+	}
+	var (
+		wg      sync.WaitGroup
+		next    atomic.Int64
+		stop    atomic.Bool
+		errOnce sync.Once
+		pullErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(sched) {
+					return
+				}
+				if err := h.pullOne(out, region, v, version, sched[i], m); err != nil {
+					errOnce.Do(func() { pullErr = err })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pullErr != nil {
+		return nil, pullErr
 	}
 	return out, nil
+}
+
+// pullOne performs one receiver-driven transfer of a schedule, copying the
+// pulled cells into their slot of the output buffer.
+func (h *Handle) pullOne(out []float64, region geometry.BBox, v string, version int, tr transfer, m transport.Meter) error {
+	err := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
+		tr.Sub.Volume()*ElemSize, func(payload any) {
+			obj := payload.(*StoredObject)
+			copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
+		})
+	if err != nil {
+		return fmt.Errorf("cods: pulling %v of %q v%d from core %d: %w",
+			tr.Sub, v, version, tr.Owner, err)
+	}
+	return nil
 }
 
 // Exists reports whether any data of the variable version overlapping
@@ -366,9 +521,10 @@ func (h *Handle) TryGetSequential(v string, version int, region geometry.BBox) (
 	if region.Empty() {
 		return nil, false, fmt.Errorf("cods: empty get region for %q", v)
 	}
-	key := "seq|" + v + "|" + region.String()
-	sched, ok := h.cachedSchedule(key)
+	key := h.schedKey("seq", v, region)
+	sched, ok := h.cachedSchedule(key, v)
 	if !ok {
+		epoch, gen := h.sp.scheduleStamp(v)
 		var err error
 		sched, err = h.sequentialSchedule(v, version, region)
 		if err != nil {
@@ -379,7 +535,7 @@ func (h *Handle) TryGetSequential(v string, version int, region geometry.BBox) (
 			}
 			return nil, false, nil
 		}
-		h.storeSchedule(key, sched)
+		h.storeSchedule(key, v, sched, epoch, gen)
 	}
 	out, err := h.pull(v, version, region, sched)
 	if err != nil {
@@ -400,29 +556,50 @@ func (h *Handle) Discard(v string, version int, region geometry.BBox) {
 // DiscardSequential garbage-collects a sequentially stored block: the
 // buffer is withdrawn, its staging memory freed and its location record
 // removed from the lookup service, so later gets of that version fail
-// with a coverage error instead of pulling stale data. Iterative
-// producers call it on versions no consumer will read again.
+// with a coverage error instead of pulling stale data. Every consumer's
+// cached schedules for the variable are invalidated, so a restage of the
+// data at a different owner can never be pulled from the old owner via a
+// stale cached schedule. Iterative producers call it on versions no
+// consumer will read again.
 func (h *Handle) DiscardSequential(v string, version int, region geometry.BBox) error {
 	h.Discard(v, version, region)
-	return h.sp.lookup.ClientAt(h.core).Remove(h.phase, h.app,
+	err := h.sp.lookup.ClientAt(h.core).Remove(h.phase, h.app,
 		dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
+	h.sp.InvalidateSchedules(v)
+	return err
 }
 
-func (h *Handle) cachedSchedule(key string) ([]transfer, bool) {
+// schedKey builds the cache key for a schedule: operator, owning app,
+// variable and query region. The handle's app is part of the key so a
+// cache can never be misread if handles are ever shared across apps.
+func (h *Handle) schedKey(op, v string, region geometry.BBox) string {
+	return fmt.Sprintf("%s|%d|%s|%s", op, h.app, v, region.String())
+}
+
+func (h *Handle) cachedSchedule(key, v string) ([]transfer, bool) {
 	if !h.CacheEnabled {
 		return nil, false
 	}
-	sched, ok := h.schedCache[key]
-	if ok {
-		h.CacheHits++
+	e, ok := h.schedCache[key]
+	if !ok {
+		return nil, false
 	}
-	return sched, ok
+	epoch, gen := h.sp.scheduleStamp(v)
+	if e.epoch != epoch || e.gen != gen {
+		delete(h.schedCache, key) // stale: discarded/restaged since computed
+		return nil, false
+	}
+	h.CacheHits++
+	return e.sched, true
 }
 
-func (h *Handle) storeSchedule(key string, sched []transfer) {
+// storeSchedule caches a schedule under the invalidation stamp captured
+// before the schedule was computed, so an invalidation racing with the
+// computation leaves the entry already-stale instead of masked.
+func (h *Handle) storeSchedule(key, v string, sched []transfer, epoch, gen uint64) {
 	h.CacheMisses++
 	if h.CacheEnabled {
-		h.schedCache[key] = sched
+		h.schedCache[key] = schedEntry{sched: sched, v: v, epoch: epoch, gen: gen}
 	}
 }
 

@@ -1,0 +1,110 @@
+package cods
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// Simulated one-sided read round-trip latencies for the pull benchmarks,
+// modelling a 2012-era RDMA get (paper's Cray XT5 SeaStar2+) and an
+// intra-node shared-memory handoff. The in-process fabric copies memory in
+// nanoseconds, which no real interconnect does; without a latency model the
+// benchmark degenerates into a pure memcpy contest that says nothing about
+// transfer concurrency. The worker pool's job is overlapping these round
+// trips, exactly as the paper's receiver-driven parallel pulls do.
+const (
+	benchShmLatency = 2 * time.Microsecond
+	benchNetLatency = 25 * time.Microsecond
+)
+
+// benchSpace stages a grid of blocks sized so a full-domain retrieval
+// executes exactly `transfers` pulls, and returns the space, a consumer
+// handle, and the retrieval region. Block side is chosen so each transfer
+// moves a meaningful amount of data (the engine overlaps memory copies).
+func benchSpace(b *testing.B, transfers int) (*Space, *Handle, geometry.BBox) {
+	b.Helper()
+	const side = 32 // 32x32 cells = 8 KiB per transfer (cache-resident)
+	nx := 1
+	for nx*nx < transfers {
+		nx *= 2
+	}
+	ny := transfers / nx
+	m, err := cluster.NewMachine(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := transport.NewFabric(m)
+	sp, err := NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := m.TotalCores()
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	consumer := sp.HandleAt(0, 2, "get")
+	// Blocks are put one per core round-robin, so adjacent blocks have
+	// different owners and coalescing cannot shrink the schedule: the
+	// benchmark isolates transfer concurrency.
+	f.SetReadLatency(benchShmLatency, benchNetLatency)
+	return sp, consumer, geometry.BoxFromSize([]int{nx * side, ny * side})
+}
+
+func benchPull(b *testing.B, transfers, workers int) {
+	sp, consumer, region := benchSpace(b, transfers)
+	sp.SetPullWorkers(workers)
+	// Warm the schedule cache so iterations measure pull execution only.
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(region.Volume() * ElemSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := consumer.GetSequential("u", 0, region); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPullSerial measures the single-worker (serial baseline) pull
+// path at increasing schedule sizes.
+func BenchmarkPullSerial(b *testing.B) {
+	for _, transfers := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("transfers=%d", transfers), func(b *testing.B) {
+			benchPull(b, transfers, 1)
+		})
+	}
+}
+
+// BenchmarkPullParallel measures the bounded worker pool across transfer
+// counts and worker counts. Compare e.g.
+// PullParallel/transfers=64/workers=4 against PullSerial/transfers=64.
+func BenchmarkPullParallel(b *testing.B) {
+	for _, transfers := range []int{16, 64, 256} {
+		for _, workers := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("transfers=%d/workers=%d", transfers, workers), func(b *testing.B) {
+				benchPull(b, transfers, workers)
+			})
+		}
+	}
+}

@@ -54,10 +54,40 @@ type queryReq struct {
 
 type queryResp struct{ Entries []Entry }
 
-// table is one DHT core's location table.
-type table struct {
-	mu      sync.Mutex
+// tableShards is the number of independently locked shards of one node's
+// location table. Entries are sharded by variable name, so inserts,
+// removes and queries for different variables on the same DHT core do not
+// contend on one mutex. Must be a power of two.
+const tableShards = 16
+
+// tableShard is one lock domain of a node's location table.
+type tableShard struct {
+	mu      sync.RWMutex
 	entries map[string][]Entry // key: var\x00version
+}
+
+// table is one DHT core's location table, sharded by variable.
+type table struct {
+	shards [tableShards]tableShard
+}
+
+func newTable() *table {
+	t := &table{}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[string][]Entry)
+	}
+	return t
+}
+
+// shardOf picks the shard holding a variable's entries (FNV-1a over the
+// variable name).
+func (t *table) shardOf(v string) *tableShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(v); i++ {
+		h ^= uint32(v[i])
+		h *= 16777619
+	}
+	return &t.shards[h&(tableShards-1)]
 }
 
 func tkey(v string, version int) string { return fmt.Sprintf("%s\x00%d", v, version) }
@@ -86,7 +116,7 @@ func NewService(f *transport.Fabric, curve sfc.Linearizer) *Service {
 		rem:    curve.Total() % n,
 	}
 	for node := 0; node < m.NumNodes(); node++ {
-		s.tables[node] = &table{entries: make(map[string][]Entry)}
+		s.tables[node] = newTable()
 		core := m.CoreOn(cluster.NodeID(node), 0)
 		node := node
 		f.Endpoint(core).RegisterHandler(serviceName, func(src cluster.CoreID, req any) (any, error) {
@@ -146,41 +176,46 @@ func (s *Service) DHTCore(node int) cluster.CoreID {
 	return s.fabric.Machine().CoreOn(cluster.NodeID(node), 0)
 }
 
-// serve processes one RPC on the DHT core of node.
+// serve processes one RPC on the DHT core of node. Writes take the
+// affected variable's shard lock exclusively; queries only read-lock it,
+// so concurrent lookups of the same variable proceed in parallel.
 func (s *Service) serve(node int, req any) (any, error) {
 	t := s.tables[node]
 	switch r := req.(type) {
 	case insertReq:
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		sh := t.shardOf(r.Entry.Var)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		k := tkey(r.Entry.Var, r.Entry.Version)
-		for _, e := range t.entries[k] {
+		for _, e := range sh.entries[k] {
 			if e.Owner == r.Entry.Owner && e.Region.Equal(r.Entry.Region) {
 				return nil, nil // idempotent re-insert
 			}
 		}
-		t.entries[k] = append(t.entries[k], r.Entry)
+		sh.entries[k] = append(sh.entries[k], r.Entry)
 		return nil, nil
 	case removeReq:
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		sh := t.shardOf(r.Entry.Var)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		k := tkey(r.Entry.Var, r.Entry.Version)
-		entries := t.entries[k]
+		entries := sh.entries[k]
 		for i, e := range entries {
 			if e.Owner == r.Entry.Owner && e.Region.Equal(r.Entry.Region) {
-				t.entries[k] = append(entries[:i], entries[i+1:]...)
+				sh.entries[k] = append(entries[:i], entries[i+1:]...)
 				break
 			}
 		}
-		if len(t.entries[k]) == 0 {
-			delete(t.entries, k)
+		if len(sh.entries[k]) == 0 {
+			delete(sh.entries, k)
 		}
 		return nil, nil
 	case queryReq:
-		t.mu.Lock()
-		defer t.mu.Unlock()
+		sh := t.shardOf(r.Var)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
 		var out []Entry
-		for _, e := range t.entries[tkey(r.Var, r.Version)] {
+		for _, e := range sh.entries[tkey(r.Var, r.Version)] {
 			if e.Region.Overlaps(r.Region) {
 				out = append(out, e)
 			}
@@ -254,19 +289,46 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 	}
 	req := queryReq{Var: v, Version: version, Region: region}
 	reqSize := int64(len(v)) + 8 + int64(16*region.Dim())
-	var all []Entry
-	for _, node := range cl.svc.nodesForRegion(region) {
-		resp, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, req,
+	nodes := cl.svc.nodesForRegion(region)
+	// Fan the per-node lookups out concurrently: a region spanning several
+	// DHT intervals pays one round trip instead of len(nodes). Results are
+	// gathered per node index, keeping the merge deterministic.
+	results := make([][]Entry, len(nodes))
+	errs := make([]error, len(nodes))
+	if len(nodes) == 1 {
+		resp, err := cl.ep.Call(cl.svc.DHTCore(nodes[0]), serviceName, req,
 			controlMeter(phase, app), reqSize, 8)
 		if err != nil {
-			return nil, fmt.Errorf("dht: query on node %d: %w", node, err)
+			errs[0] = err
+		} else {
+			results[0] = resp.(queryResp).Entries
 		}
-		qr := resp.(queryResp)
-		// Response size depends on the answer; meter the body separately
-		// by accounting it into the same call path would require a second
-		// record; the fixed 8 bytes above covers the header and the body
-		// is small control traffic.
-		all = append(all, qr.Entries...)
+	} else {
+		var wg sync.WaitGroup
+		for i, node := range nodes {
+			wg.Add(1)
+			go func(i, node int) {
+				defer wg.Done()
+				resp, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, req,
+					controlMeter(phase, app), reqSize, 8)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i] = resp.(queryResp).Entries
+			}(i, node)
+		}
+		wg.Wait()
+	}
+	var all []Entry
+	for i := range nodes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("dht: query on node %d: %w", nodes[i], errs[i])
+		}
+		// Response size depends on the answer; metering the body would
+		// require a second record; the fixed 8 bytes above covers the
+		// header and the body is small control traffic.
+		all = append(all, results[i]...)
 	}
 	// Deduplicate: the same entry is registered on every DHT core its
 	// spans touch.
@@ -274,7 +336,7 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 		if all[i].Owner != all[j].Owner {
 			return all[i].Owner < all[j].Owner
 		}
-		return all[i].Region.String() < all[j].Region.String()
+		return geometry.Compare(all[i].Region, all[j].Region) < 0
 	})
 	out := all[:0]
 	for i, e := range all {
@@ -290,11 +352,14 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 // holds (for tests and diagnostics).
 func (s *Service) TableSize(node int) int {
 	t := s.tables[node]
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	n := 0
-	for _, es := range t.entries {
-		n += len(es)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, es := range sh.entries {
+			n += len(es)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -303,9 +368,12 @@ func (s *Service) TableSize(node int) int {
 // stages of independent experiments).
 func (s *Service) Clear() {
 	for _, t := range s.tables {
-		t.mu.Lock()
-		t.entries = make(map[string][]Entry)
-		t.mu.Unlock()
+		for i := range t.shards {
+			sh := &t.shards[i]
+			sh.mu.Lock()
+			sh.entries = make(map[string][]Entry)
+			sh.mu.Unlock()
+		}
 	}
 }
 

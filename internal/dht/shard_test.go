@@ -1,0 +1,148 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/sfc"
+	"github.com/insitu/cods/internal/transport"
+)
+
+func shardRig(t testing.TB, nodes, cores, dim, bits int) *Service {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := sfc.NewCurve(dim, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewService(transport.NewFabric(m), curve)
+}
+
+// TestShardedTableConsistency: entries of many variables land in different
+// shards, yet TableSize, Query and Clear see the union.
+func TestShardedTableConsistency(t *testing.T) {
+	s := shardRig(t, 2, 2, 2, 4)
+	cl := s.ClientAt(0)
+	region := geometry.BoxFromSize([]int{16, 16})
+	const vars = 64
+	for i := 0; i < vars; i++ {
+		e := Entry{Var: fmt.Sprintf("v%03d", i), Version: 1, Region: region, Owner: 1}
+		if err := cl.Insert("t", 1, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for n := 0; n < 2; n++ {
+		total += s.TableSize(n)
+	}
+	// The full-domain region spans both nodes' intervals, so every entry
+	// registers on both DHT cores.
+	if total != 2*vars {
+		t.Fatalf("total table size = %d, want %d", total, 2*vars)
+	}
+	for i := 0; i < vars; i++ {
+		got, err := cl.Query("t", 1, fmt.Sprintf("v%03d", i), 1, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("var %d: %d entries, want 1 (dedup across nodes)", i, len(got))
+		}
+	}
+	s.Clear()
+	for n := 0; n < 2; n++ {
+		if s.TableSize(n) != 0 {
+			t.Fatalf("node %d not empty after Clear", n)
+		}
+	}
+}
+
+// TestConcurrentInsertQueryRemove hammers the sharded tables from many
+// goroutines touching distinct variables (run under -race).
+func TestConcurrentInsertQueryRemove(t *testing.T) {
+	s := shardRig(t, 4, 4, 2, 5)
+	region := geometry.BoxFromSize([]int{32, 32})
+	const goroutines = 16
+	const iterations = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := s.ClientAt(cluster.CoreID(g))
+			v := fmt.Sprintf("var%d", g)
+			for it := 0; it < iterations; it++ {
+				e := Entry{Var: v, Version: it, Region: region, Owner: cluster.CoreID(g)}
+				if err := cl.Insert("t", 1, e); err != nil {
+					errCh <- err
+					return
+				}
+				got, err := cl.Query("t", 1, v, it, region)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got) != 1 {
+					errCh <- fmt.Errorf("goroutine %d it %d: %d entries, want 1", g, it, len(got))
+					return
+				}
+				if err := cl.Remove("t", 1, e); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	for n := 0; n < 4; n++ {
+		if s.TableSize(n) != 0 {
+			t.Fatalf("node %d retains %d entries after balanced insert/remove", n, s.TableSize(n))
+		}
+	}
+}
+
+// TestConcurrentQuerySameVariable: parallel readers of one variable share
+// the shard read-lock and must all see the same answer.
+func TestConcurrentQuerySameVariable(t *testing.T) {
+	s := shardRig(t, 2, 4, 2, 4)
+	region := geometry.BoxFromSize([]int{16, 16})
+	if err := s.ClientAt(0).Insert("t", 1, Entry{Var: "hot", Version: 7, Region: region, Owner: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := s.ClientAt(cluster.CoreID(g))
+			for i := 0; i < 50; i++ {
+				got, err := cl.Query("t", 1, "hot", 7, region)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got) != 1 || got[0].Owner != 3 {
+					errCh <- fmt.Errorf("reader %d: got %+v", g, got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

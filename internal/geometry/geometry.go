@@ -350,6 +350,37 @@ func mergeableDim(a, b BBox) (int, bool) {
 	return dim, true
 }
 
+// Compare orders two boxes lexicographically by Min, then Max. It is the
+// allocation-free replacement for comparing String() renderings in hot
+// sorting paths (string ordering also differs from numeric ordering for
+// multi-digit coordinates). Boxes of differing dimensionality order by
+// dimension first.
+func Compare(a, b BBox) int {
+	if a.Dim() != b.Dim() {
+		if a.Dim() < b.Dim() {
+			return -1
+		}
+		return 1
+	}
+	for d := range a.Min {
+		if a.Min[d] != b.Min[d] {
+			if a.Min[d] < b.Min[d] {
+				return -1
+			}
+			return 1
+		}
+	}
+	for d := range a.Max {
+		if a.Max[d] != b.Max[d] {
+			if a.Max[d] < b.Max[d] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
 // TotalVolume sums the volumes of a box list.
 func TotalVolume(boxes []BBox) int64 {
 	var v int64

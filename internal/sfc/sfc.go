@@ -220,6 +220,13 @@ func (c *Curve) interleave(x []uint64) uint64 {
 // deinterleave is the inverse of interleave.
 func (c *Curve) deinterleave(h uint64) []uint64 {
 	x := make([]uint64, c.dim)
+	c.deinterleaveInto(h, x)
+	return x
+}
+
+// deinterleaveInto de-interleaves h into the caller-provided slice, which
+// must be zeroed and of length dim.
+func (c *Curve) deinterleaveInto(h uint64, x []uint64) {
 	shift := uint(c.dim*c.bits - 1)
 	for l := c.bits - 1; l >= 0; l-- {
 		for i := 0; i < c.dim; i++ {
@@ -227,63 +234,95 @@ func (c *Curve) deinterleave(h uint64) []uint64 {
 			shift--
 		}
 	}
-	return x
 }
 
 // Spans decomposes the query box (clipped to the curve's grid) into a
 // minimal sorted list of index spans. It walks the implicit orthant tree of
 // the curve: an aligned index range of length 2^(dim*level) always covers
 // one axis-aligned cube of side 2^level, so subtrees fully inside the query
-// emit one span and disjoint subtrees are pruned.
+// emit one span and disjoint subtrees are pruned. Results are memoized in a
+// bounded process-wide LRU (see SetSpanCacheCapacity), as iterative
+// workflows re-translate identical regions every version.
 func (c *Curve) Spans(b geometry.BBox) []Span {
 	query, ok := b.Intersect(c.Domain())
 	if !ok {
 		return nil
 	}
-	var spans []Span
-	c.spanWalk(0, c.bits, query, &spans)
-	return MergeSpans(spans)
+	key := spanKey{kind: kindHilbert, dim: c.dim, bits: c.bits, box: boxKey(query)}
+	if spans, ok := globalSpanCache.get(key); ok {
+		return spans
+	}
+	w := curveWalker{c: c, query: query, spans: make([]Span, 0, 64), x: make([]uint64, c.dim)}
+	w.walk(0, c.bits)
+	spans := MergeSpans(w.spans)
+	globalSpanCache.put(key, spans)
+	return spans
 }
 
-// spanWalk visits the orthant subtree whose indices start at start with
-// side 2^level, appending covered spans.
-func (c *Curve) spanWalk(start uint64, level int, query geometry.BBox, spans *[]Span) {
+// curveWalker carries the query and scratch buffers through the recursive
+// orthant walk so a Spans call allocates only its result slice.
+type curveWalker struct {
+	c     *Curve
+	query geometry.BBox
+	spans []Span
+	x     []uint64 // decode scratch
+}
+
+// walk visits the orthant subtree whose indices start at start with side
+// 2^level, appending covered spans.
+func (w *curveWalker) walk(start uint64, level int) {
+	c := w.c
 	length := uint64(1) << uint(c.dim*level)
 	side := 1 << uint(level)
 	// The cube covered by this index range is the alignment cube of any
-	// point in it.
-	corner := c.Decode(start)
-	cell := geometry.BBox{Min: make(geometry.Point, c.dim), Max: make(geometry.Point, c.dim)}
+	// point in it; decode into scratch to avoid per-node allocation.
+	x := w.x
+	for i := range x {
+		x[i] = 0
+	}
+	c.deinterleaveInto(start, x)
+	c.transposeToAxes(x)
+	contained := true
 	for d := 0; d < c.dim; d++ {
-		cell.Min[d] = corner[d] &^ (side - 1)
-		cell.Max[d] = cell.Min[d] + side
+		cmin := int(x[d]) &^ (side - 1)
+		cmax := cmin + side
+		if cmax <= w.query.Min[d] || cmin >= w.query.Max[d] {
+			return // disjoint from the query
+		}
+		if cmin < w.query.Min[d] || cmax > w.query.Max[d] {
+			contained = false
+		}
 	}
-	inter, ok := cell.Intersect(query)
-	if !ok {
-		return
-	}
-	if inter.Equal(cell) {
-		*spans = append(*spans, Span{Start: start, End: start + length})
+	if contained {
+		w.spans = append(w.spans, Span{Start: start, End: start + length})
 		return
 	}
 	if level == 0 {
 		// Single cell partially matched cannot happen (volume 1), but be
 		// safe: it intersects, so include it.
-		*spans = append(*spans, Span{Start: start, End: start + 1})
+		w.spans = append(w.spans, Span{Start: start, End: start + 1})
 		return
 	}
 	childLen := length >> uint(c.dim)
 	for j := uint64(0); j < (1 << uint(c.dim)); j++ {
-		c.spanWalk(start+j*childLen, level-1, query, spans)
+		w.walk(start+j*childLen, level-1)
 	}
 }
 
-// MergeSpans sorts spans and merges adjacent or overlapping ones.
+// spansByStart orders spans by start index without the closure allocation
+// of sort.Slice in the hot path.
+type spansByStart []Span
+
+func (s spansByStart) Len() int           { return len(s) }
+func (s spansByStart) Less(i, j int) bool { return s[i].Start < s[j].Start }
+func (s spansByStart) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// MergeSpans sorts spans and merges adjacent or overlapping ones in place.
 func MergeSpans(spans []Span) []Span {
 	if len(spans) == 0 {
 		return nil
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	sort.Sort(spansByStart(spans))
 	out := spans[:1]
 	for _, s := range spans[1:] {
 		last := &out[len(out)-1]

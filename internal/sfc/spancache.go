@@ -1,0 +1,155 @@
+package sfc
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// The span cache memoizes Curve.Spans results. The orthant walk is
+// recursive and revisits the same query boxes every iteration of an
+// iterative workflow (the DHT translates each put/get region to spans), so
+// identical (curve, box) queries are answered from a bounded LRU instead.
+//
+// The cache is process-global and keyed by the curve's parameters as well
+// as the query box, so independent Space instances (and the ablation
+// benchmarks' side-by-side linearizers) share it safely.
+
+// DefaultSpanCacheCapacity is the initial number of cached span lists.
+const DefaultSpanCacheCapacity = 512
+
+// spanKey identifies one memoized Spans query.
+type spanKey struct {
+	kind uint8 // curve family (hilbert, morton, ...)
+	dim  int
+	bits int
+	box  string // canonical min/max rendering of the clipped query
+}
+
+const (
+	kindHilbert uint8 = iota
+	kindMorton
+)
+
+// boxKey renders a box into a compact canonical string key.
+func boxKey(b geometry.BBox) string {
+	var sb strings.Builder
+	sb.Grow(4 * b.Dim() * 4)
+	for d := range b.Min {
+		sb.WriteString(strconv.Itoa(b.Min[d]))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(';')
+	for d := range b.Max {
+		sb.WriteString(strconv.Itoa(b.Max[d]))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// spanCache is a mutex-guarded LRU of span lists.
+type spanCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[spanKey]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type spanCacheEntry struct {
+	key   spanKey
+	spans []Span
+}
+
+func newSpanCache(capacity int) *spanCache {
+	return &spanCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[spanKey]*list.Element),
+	}
+}
+
+var globalSpanCache = newSpanCache(DefaultSpanCacheCapacity)
+
+// get returns a copy of the cached spans for key. Copies keep the cache
+// immune to callers that sort or merge the returned slice.
+func (c *spanCache) get(key spanKey) ([]Span, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	cached := el.Value.(*spanCacheEntry).spans
+	out := make([]Span, len(cached))
+	copy(out, cached)
+	return out, true
+}
+
+// put stores a private copy of spans under key, evicting the least
+// recently used entry when over capacity.
+func (c *spanCache) put(key spanKey, spans []Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	own := make([]Span, len(spans))
+	copy(own, spans)
+	el := c.order.PushFront(&spanCacheEntry{key: key, spans: own})
+	c.items[key] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*spanCacheEntry).key)
+	}
+}
+
+func (c *spanCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	for c.order.Len() > n && c.order.Len() > 0 {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*spanCacheEntry).key)
+	}
+}
+
+func (c *spanCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.items = make(map[spanKey]*list.Element)
+	c.hits, c.misses = 0, 0
+}
+
+func (c *spanCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}
+
+// SetSpanCacheCapacity bounds the global Spans LRU to n entries. n <= 0
+// disables caching entirely (the ablation benchmarks measure the raw walk).
+func SetSpanCacheCapacity(n int) { globalSpanCache.setCapacity(n) }
+
+// ResetSpanCache drops all cached span lists and zeroes the hit counters.
+func ResetSpanCache() { globalSpanCache.reset() }
+
+// SpanCacheStats reports the global cache's hits, misses and current size.
+func SpanCacheStats() (hits, misses uint64, size int) { return globalSpanCache.stats() }

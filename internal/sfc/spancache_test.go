@@ -1,0 +1,149 @@
+package sfc
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// resetCache restores the default cache state after a test.
+func resetCache(t testing.TB) {
+	t.Helper()
+	ResetSpanCache()
+	SetSpanCacheCapacity(DefaultSpanCacheCapacity)
+	t.Cleanup(func() {
+		ResetSpanCache()
+		SetSpanCacheCapacity(DefaultSpanCacheCapacity)
+	})
+}
+
+func TestSpanCacheHitReturnsEqualSpans(t *testing.T) {
+	resetCache(t)
+	c, err := NewCurve(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geometry.NewBBox(geometry.Point{3, 7}, geometry.Point{19, 23})
+	first := c.Spans(q)
+	second := c.Spans(q)
+	if len(first) != len(second) {
+		t.Fatalf("cached spans differ in length: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("span %d: %v != %v", i, first[i], second[i])
+		}
+	}
+	hits, misses, _ := SpanCacheStats()
+	if hits < 1 || misses < 1 {
+		t.Fatalf("stats hits=%d misses=%d, want at least one of each", hits, misses)
+	}
+}
+
+// TestSpanCacheCopySemantics: a caller mutating a returned slice must not
+// corrupt later answers.
+func TestSpanCacheCopySemantics(t *testing.T) {
+	resetCache(t)
+	c, _ := NewCurve(2, 4)
+	q := geometry.NewBBox(geometry.Point{1, 1}, geometry.Point{7, 7})
+	first := c.Spans(q)
+	want := make([]Span, len(first))
+	copy(want, first)
+	for i := range first {
+		first[i].Start = 0
+		first[i].End = 0
+	}
+	again := c.Spans(q)
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("cache corrupted by caller mutation: span %d = %v, want %v", i, again[i], want[i])
+		}
+	}
+}
+
+func TestSpanCacheEviction(t *testing.T) {
+	resetCache(t)
+	SetSpanCacheCapacity(4)
+	c, _ := NewCurve(2, 5)
+	for i := 0; i < 10; i++ {
+		q := geometry.NewBBox(geometry.Point{i, 0}, geometry.Point{i + 3, 5})
+		c.Spans(q)
+	}
+	_, _, size := SpanCacheStats()
+	if size > 4 {
+		t.Fatalf("cache size %d exceeds capacity 4", size)
+	}
+}
+
+func TestSpanCacheDisabled(t *testing.T) {
+	resetCache(t)
+	SetSpanCacheCapacity(0)
+	c, _ := NewCurve(2, 4)
+	q := geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{5, 5})
+	a := c.Spans(q)
+	b := c.Spans(q)
+	if TotalLen(a) != TotalLen(b) || TotalLen(a) != uint64(q.Volume()) {
+		t.Fatalf("disabled cache changed results: %d vs %d (volume %d)", TotalLen(a), TotalLen(b), uint64(q.Volume()))
+	}
+	_, _, size := SpanCacheStats()
+	if size != 0 {
+		t.Fatalf("disabled cache stored %d entries", size)
+	}
+}
+
+// TestSpanCacheKeyedByCurve: curves with different bits must not share
+// entries even for the same query box.
+func TestSpanCacheKeyedByCurve(t *testing.T) {
+	resetCache(t)
+	c4, _ := NewCurve(2, 4)
+	c5, _ := NewCurve(2, 5)
+	q := geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{16, 16})
+	a := c4.Spans(q) // covers c4's whole domain: one span of 256
+	b := c5.Spans(q) // a quadrant of c5's domain
+	if TotalLen(a) != 256 || TotalLen(b) != 256 {
+		t.Fatalf("span volumes %d / %d, want 256 / 256", TotalLen(a), TotalLen(b))
+	}
+	if len(a) == len(b) && a[0] == b[0] && len(a) == 1 && a[0].End == b[0].End {
+		// Both being the single identical span would mean the cache
+		// conflated the two curves (c4's is [0,256), c5's quadrant is not
+		// guaranteed to start at 0 — compare defensively).
+		t.Log("identical spans for different curves; verifying independently")
+	}
+	// Recompute with cache disabled and compare.
+	SetSpanCacheCapacity(0)
+	a2 := c4.Spans(q)
+	b2 := c5.Spans(q)
+	if len(a) != len(a2) || len(b) != len(b2) {
+		t.Fatalf("cached results differ from uncached: %v/%v vs %v/%v", a, b, a2, b2)
+	}
+}
+
+// TestSpanCacheConcurrent exercises the cache from many goroutines (run
+// under -race).
+func TestSpanCacheConcurrent(t *testing.T) {
+	resetCache(t)
+	c, _ := NewCurve(2, 6)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := geometry.NewBBox(
+					geometry.Point{(g + i) % 32, i % 32},
+					geometry.Point{(g+i)%32 + 8, i%32 + 8})
+				spans := c.Spans(q)
+				var want uint64
+				if inter, ok := q.Intersect(c.Domain()); ok {
+					want = uint64(inter.Volume())
+				}
+				if TotalLen(spans) != want {
+					t.Errorf("goroutine %d: span volume %d, want %d", g, TotalLen(spans), want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

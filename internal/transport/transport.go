@@ -16,6 +16,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 )
@@ -47,10 +49,30 @@ type BufKey struct {
 // AnySource can be passed to Recv to match a message from any sender.
 const AnySource cluster.CoreID = -1
 
+// mediumStats counts transfers through one medium. The fields are updated
+// atomically so the parallel pull engine's concurrent Reads never contend
+// on a lock just to be counted.
+type mediumStats struct {
+	bytes atomic.Int64
+	ops   atomic.Int64
+}
+
 // Fabric connects all endpoints of a machine.
 type Fabric struct {
 	machine   *cluster.Machine
 	endpoints []*Endpoint
+
+	// stats holds lock-free per-medium transfer counters, indexed by
+	// cluster.Medium. They complement the machine Metrics (which stay the
+	// source of truth for the figures) with cheap fabric-level telemetry.
+	stats [2]mediumStats
+
+	// readLatency is an optional simulated one-sided-read round-trip
+	// latency per medium, in nanoseconds (0 = off, the default). When set,
+	// every Read blocks that long before its payload callback, modelling
+	// the blocking RDMA get of the paper's DART; it is what the parallel
+	// pull engine overlaps. Byte accounting is unaffected.
+	readLatency [2]atomic.Int64
 }
 
 // NewFabric creates a fabric with one endpoint per core of the machine.
@@ -85,10 +107,46 @@ func (f *Fabric) medium(src, dst cluster.CoreID) cluster.Medium {
 	return cluster.Network
 }
 
-// record books a transfer in the machine metrics.
+// record books a transfer in the machine metrics and the fabric's
+// per-medium counters. It is safe for concurrent callers: the Metrics
+// object serializes internally and the fabric counters are atomic.
 func (f *Fabric) record(m Meter, src, dst cluster.CoreID, n int64) {
-	f.machine.Metrics().Record(m.Phase, m.Class, f.medium(src, dst), m.DstApp,
+	md := f.medium(src, dst)
+	f.stats[md].bytes.Add(n)
+	f.stats[md].ops.Add(1)
+	f.machine.Metrics().Record(m.Phase, m.Class, md, m.DstApp,
 		f.machine.NodeOf(src), f.machine.NodeOf(dst), n)
+}
+
+// MediumBytes returns the total bytes moved through a medium since the
+// fabric was created (or ResetMediumStats).
+func (f *Fabric) MediumBytes(md cluster.Medium) int64 { return f.stats[md].bytes.Load() }
+
+// MediumOps returns the number of transfers performed through a medium.
+func (f *Fabric) MediumOps(md cluster.Medium) int64 { return f.stats[md].ops.Load() }
+
+// ResetMediumStats zeroes the fabric's per-medium counters.
+func (f *Fabric) ResetMediumStats() {
+	for i := range f.stats {
+		f.stats[i].bytes.Store(0)
+		f.stats[i].ops.Store(0)
+	}
+}
+
+// SetReadLatency configures the simulated one-sided-read latency per
+// medium (0 disables, the default). Safe to call concurrently with
+// readers; it only affects wall-clock timing, never byte accounting.
+func (f *Fabric) SetReadLatency(shm, network time.Duration) {
+	f.readLatency[cluster.SharedMemory].Store(int64(shm))
+	f.readLatency[cluster.Network].Store(int64(network))
+}
+
+// sleepReadLatency blocks for the configured simulated latency of a
+// medium, if any.
+func (f *Fabric) sleepReadLatency(md cluster.Medium) {
+	if d := f.readLatency[md].Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 }
 
 // export is a one-sided buffer published by a core.
@@ -212,6 +270,7 @@ func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64,
 		if e, ok := oe.exports[key]; ok {
 			payload := e.payload
 			oe.exportMu.Unlock()
+			ep.fabric.sleepReadLatency(ep.fabric.medium(owner, ep.core))
 			ep.fabric.record(m, owner, ep.core, bytes)
 			if read != nil {
 				read(payload)
