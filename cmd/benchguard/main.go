@@ -1,0 +1,190 @@
+// Command benchguard asserts that the observability instrumentation stays
+// within its overhead budget on the parallel pull path.
+//
+// It stages the same rig as cmd/pullbench (round-robin block placement,
+// simulated one-sided read latencies) and times full-domain retrievals
+// twice in-process: once with the metrics registry disabled and once
+// enabled. The enabled median must stay within -threshold (default 5%) of
+// the disabled one, or the process exits 1. Comparing the two runs inside
+// one process makes the guard robust in CI: machine speed, scheduler noise
+// and turbo states cancel out, and the simulated transfer latencies
+// dominate both sides equally.
+//
+// A committed pullbench baseline (-baseline, default
+// results/BENCH_pull.json) is compared informationally only — absolute
+// nanoseconds are not portable across machines, so drift against the
+// baseline is reported but never fails the guard.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/transport"
+)
+
+const (
+	nodes        = 4
+	coresPerNode = 4
+	side         = 32
+	shmLatency   = 2 * time.Microsecond
+	netLatency   = 25 * time.Microsecond
+	transfers    = 64
+	workers      = 8
+)
+
+// buildRig mirrors cmd/pullbench's staging: a grid of blocks placed
+// round-robin so adjacent blocks always live on different cores.
+func buildRig() (*cods.Handle, geometry.BBox, error) {
+	nx := 1
+	for nx*nx < transfers {
+		nx *= 2
+	}
+	ny := transfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return nil, geometry.BBox{}, err
+	}
+	f := transport.NewFabric(m)
+	region := geometry.BoxFromSize([]int{nx * side, ny * side})
+	sp, err := cods.NewSpace(f, region)
+	if err != nil {
+		return nil, geometry.BBox{}, err
+	}
+	cores := m.TotalCores()
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return nil, geometry.BBox{}, err
+			}
+			n++
+		}
+	}
+	f.SetReadLatency(shmLatency, netLatency)
+	sp.SetPullWorkers(workers)
+	return sp.HandleAt(0, 2, "get"), region, nil
+}
+
+// medianPull times reps full-domain retrievals and returns the median.
+func medianPull(consumer *cods.Handle, region geometry.BBox, reps int) (time.Duration, error) {
+	// Warm the schedule cache so only pull execution is timed.
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return 0, err
+	}
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := consumer.GetSequential("u", 0, region); err != nil {
+			return 0, err
+		}
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nil
+}
+
+// baselineRow is the slice of the pullbench report the guard reads.
+type baselineRow struct {
+	Transfers int   `json:"transfers"`
+	Workers   int   `json:"workers"`
+	NsPerOp   int64 `json:"ns_per_op"`
+}
+
+func loadBaseline(path string) (int64, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var rep struct {
+		Pull []baselineRow `json:"pull"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return 0, false
+	}
+	for _, row := range rep.Pull {
+		if row.Transfers == transfers && row.Workers == workers {
+			return row.NsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+func run(baseline string, reps int, threshold float64) error {
+	consumer, region, err := buildRig()
+	if err != nil {
+		return err
+	}
+
+	// Interleave disabled / enabled / disabled and keep the better disabled
+	// median, so one-sided machine drift cannot fake a regression.
+	obs.Enable(false)
+	offA, err := medianPull(consumer, region, reps)
+	if err != nil {
+		return err
+	}
+	obs.Enable(true)
+	on, err := medianPull(consumer, region, reps)
+	obs.Enable(false)
+	if err != nil {
+		return err
+	}
+	offB, err := medianPull(consumer, region, reps)
+	if err != nil {
+		return err
+	}
+	off := offA
+	if offB < off {
+		off = offB
+	}
+
+	overhead := float64(on-off) / float64(off)
+	fmt.Printf("pull %d transfers, %d workers: disabled %.3f ms, enabled %.3f ms, overhead %+.2f%% (budget %.0f%%)\n",
+		transfers, workers, float64(off.Nanoseconds())/1e6, float64(on.Nanoseconds())/1e6,
+		100*overhead, 100*threshold)
+
+	if base, ok := loadBaseline(baseline); ok {
+		drift := float64(off.Nanoseconds()-base) / float64(base)
+		fmt.Printf("committed baseline %s: %.3f ms (%+.2f%% vs this machine; informational only)\n",
+			baseline, float64(base)/1e6, 100*drift)
+	} else {
+		fmt.Printf("no usable baseline at %s (informational only)\n", baseline)
+	}
+
+	if overhead > threshold {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds budget %.0f%%",
+			100*overhead, 100*threshold)
+	}
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", filepath.Join("results", "BENCH_pull.json"), "pullbench report for the informational comparison")
+	reps := flag.Int("reps", 15, "timing repetitions per mode (median kept)")
+	threshold := flag.Float64("threshold", 0.05, "maximum allowed relative overhead of enabled instrumentation")
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+	if err := run(*baseline, *reps, *threshold); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+}

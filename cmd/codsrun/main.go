@@ -27,6 +27,7 @@ import (
 	"github.com/insitu/cods/internal/apps"
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/obs"
 )
 
 type appFlags []string
@@ -34,22 +35,44 @@ type appFlags []string
 func (a *appFlags) String() string     { return strings.Join(*a, ",") }
 func (a *appFlags) Set(s string) error { *a = append(*a, s); return nil }
 
+// options collects every knob of one codsrun invocation.
+type options struct {
+	nodes, cores     int
+	domainSpec       string
+	dagPath          string
+	policyName       string
+	iterations, halo int
+	verify, verbose  bool
+	flowsPath        string
+	report           bool
+	reportPath       string
+	spansPath        string
+	obsHTTP          string
+	appSpecs         []string
+}
+
 func main() {
-	nodes := flag.Int("nodes", 12, "number of compute nodes")
-	cores := flag.Int("cores", 4, "cores per node")
-	domainSpec := flag.String("domain", "32x32x32", "coupled domain size, e.g. 32x32x32")
-	dagPath := flag.String("dag", "", "workflow description file (required)")
-	policyName := flag.String("policy", "data-centric", "task mapping: data-centric or round-robin")
-	iterations := flag.Int("iterations", 1, "coupling iterations for concurrent bundles")
-	halo := flag.Int("halo", 1, "stencil ghost width (0 disables intra-app exchange)")
-	verify := flag.Bool("verify", true, "verify retrieved data cell by cell")
-	flowsPath := flag.String("flows", "", "write the recorded transfer flows as JSON Lines to this file")
-	verbose := flag.Bool("v", false, "print the per-node task placement of every stage")
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 12, "number of compute nodes")
+	flag.IntVar(&o.cores, "cores", 4, "cores per node")
+	flag.StringVar(&o.domainSpec, "domain", "32x32x32", "coupled domain size, e.g. 32x32x32")
+	flag.StringVar(&o.dagPath, "dag", "", "workflow description file (required)")
+	flag.StringVar(&o.policyName, "policy", "data-centric", "task mapping: data-centric or round-robin")
+	flag.IntVar(&o.iterations, "iterations", 1, "coupling iterations for concurrent bundles")
+	flag.IntVar(&o.halo, "halo", 1, "stencil ghost width (0 disables intra-app exchange)")
+	flag.BoolVar(&o.verify, "verify", true, "verify retrieved data cell by cell")
+	flag.StringVar(&o.flowsPath, "flows", "", "write the recorded transfer flows as JSON Lines to this file")
+	flag.BoolVar(&o.report, "report", false, "enable the metrics registry and write a reconciled report")
+	flag.StringVar(&o.reportPath, "report-path", "results/report.json", "where -report writes the JSON report")
+	flag.StringVar(&o.spansPath, "spans", "", "write parent-linked span events as JSON Lines to this file")
+	flag.StringVar(&o.obsHTTP, "obs-http", "", "serve the metrics registry over HTTP on this address (e.g. :8970)")
+	flag.BoolVar(&o.verbose, "v", false, "print the per-node task placement of every stage")
 	var appSpecs appFlags
 	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
 	flag.Parse()
+	o.appSpecs = appSpecs
 
-	if err := run(*nodes, *cores, *domainSpec, *dagPath, *policyName, *iterations, *halo, *verify, *verbose, *flowsPath, appSpecs); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "codsrun: %v\n", err)
 		os.Exit(1)
 	}
@@ -68,24 +91,24 @@ func parseInts(spec, sep string) ([]int, error) {
 	return out, nil
 }
 
-func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, halo int, verify, verbose bool, flowsPath string, appSpecs []string) error {
-	if dagPath == "" {
+func run(o options) error {
+	if o.dagPath == "" {
 		return fmt.Errorf("-dag is required")
 	}
 	var policy cods.Policy
-	switch policyName {
+	switch o.policyName {
 	case "data-centric":
 		policy = cods.DataCentric
 	case "round-robin":
 		policy = cods.RoundRobin
 	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+		return fmt.Errorf("unknown policy %q", o.policyName)
 	}
-	domain, err := parseInts(domainSpec, "x")
+	domain, err := parseInts(o.domainSpec, "x")
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(dagPath)
+	f, err := os.Open(o.dagPath)
 	if err != nil {
 		return err
 	}
@@ -99,9 +122,33 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 	if d.Domain != nil {
 		domain = d.Domain
 	}
-	fw, err := cods.New(cods.Config{Nodes: nodes, CoresPerNode: cores, Domain: domain})
+	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain})
 	if err != nil {
 		return err
+	}
+
+	// Observability: the registry costs one atomic load per hot-path probe
+	// when off, so it is only switched on when some output wants it.
+	if o.report || o.obsHTTP != "" {
+		cods.EnableObservability(true)
+		defer cods.EnableObservability(false)
+	}
+	if o.obsHTTP != "" {
+		ln, err := obs.Serve(o.obsHTTP, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("metrics registry at http://%s/metrics\n", ln.Addr())
+	}
+	var spansOut *os.File
+	if o.spansPath != "" {
+		spansOut, err = os.Create(o.spansPath)
+		if err != nil {
+			return err
+		}
+		defer spansOut.Close()
+		fw.SetSpanTrace(spansOut)
 	}
 
 	// Decomposition declarations come from the DAG file's DECOMP
@@ -116,7 +163,7 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 			decomps[id] = dc
 		}
 	}
-	for _, spec := range appSpecs {
+	for _, spec := range o.appSpecs {
 		parts := strings.Split(spec, ":")
 		if len(parts) != 3 {
 			return fmt.Errorf("bad -app spec %q (want id:kind:grid)", spec)
@@ -168,27 +215,27 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 		switch {
 		case len(bundle) > 1 && bundle[0] == id:
 			spec.Run = apps.NewProducer(apps.ProducerConfig{
-				Var: fmt.Sprintf("data.%d", id), Iterations: iterations, Halo: halo,
+				Var: fmt.Sprintf("data.%d", id), Iterations: o.iterations, Halo: o.halo,
 				Mode: apps.Concurrent,
 			})
 			fmt.Printf("app %d: concurrent producer (%d tasks, %s)\n", id, dc.NumTasks(), dc)
 		case len(bundle) > 1:
 			spec.Run = apps.NewConsumer(apps.ConsumerConfig{
 				Var: fmt.Sprintf("data.%d", bundle[0]), Producer: bundle[0],
-				Iterations: iterations, Halo: halo, Mode: apps.Concurrent, Verify: verify,
+				Iterations: o.iterations, Halo: o.halo, Mode: apps.Concurrent, Verify: o.verify,
 			})
 			fmt.Printf("app %d: concurrent consumer of app %d (%d tasks, %s)\n", id, bundle[0], dc.NumTasks(), dc)
 		case len(d.Parents(id)) > 0:
 			parent := d.Parents(id)[0]
 			spec.Run = apps.NewConsumer(apps.ConsumerConfig{
-				Var: fmt.Sprintf("data.%d", parent), Iterations: 1, Halo: halo,
-				Mode: apps.Sequential, Verify: verify,
+				Var: fmt.Sprintf("data.%d", parent), Iterations: 1, Halo: o.halo,
+				Mode: apps.Sequential, Verify: o.verify,
 			})
 			spec.ReadsVar = fmt.Sprintf("data.%d", parent)
 			fmt.Printf("app %d: sequential consumer of app %d (%d tasks, %s)\n", id, parent, dc.NumTasks(), dc)
 		default:
 			spec.Run = apps.NewProducer(apps.ProducerConfig{
-				Var: fmt.Sprintf("data.%d", id), Iterations: 1, Halo: halo,
+				Var: fmt.Sprintf("data.%d", id), Iterations: 1, Halo: o.halo,
 				Mode: apps.Sequential,
 			})
 			fmt.Printf("app %d: sequential producer (%d tasks, %s)\n", id, dc.NumTasks(), dc)
@@ -204,7 +251,7 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 	}
 	fmt.Printf("\nworkflow complete: %d bundles, %d tasks, policy %s\n",
 		rep.BundlesRun, rep.TasksRun, rep.Policy)
-	if verbose {
+	if o.verbose {
 		printed := map[*cluster.Placement]bool{}
 		for _, id := range d.Apps {
 			pl := rep.PlacementOf[id]
@@ -225,8 +272,8 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 		return err
 	}
 	fmt.Printf("simulated coupled-data retrieval time: %.3f ms\n", secs*1e3)
-	if flowsPath != "" {
-		out, err := os.Create(flowsPath)
+	if o.flowsPath != "" {
+		out, err := os.Create(o.flowsPath)
 		if err != nil {
 			return err
 		}
@@ -234,9 +281,47 @@ func run(nodes, cores int, domainSpec, dagPath, policyName string, iterations, h
 		if err := fw.WriteFlows(out); err != nil {
 			return err
 		}
-		fmt.Printf("flow trace written to %s\n", flowsPath)
+		fmt.Printf("flow trace written to %s\n", o.flowsPath)
+	}
+	if spansOut != nil {
+		if err := fw.FlushSpans(); err != nil {
+			return err
+		}
+		fmt.Printf("span trace written to %s\n", o.spansPath)
+	}
+	if o.report {
+		if err := writeReport(fw, d, o, rep); err != nil {
+			return err
+		}
+		fmt.Printf("observability report written to %s\n", o.reportPath)
 	}
 	return nil
+}
+
+// writeReport snapshots the metrics registry and reconciles its transport
+// counters against the fabric's independent per-medium accounting; any
+// mismatch means an instrumented path drifted from the metering choke
+// point.
+func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report) error {
+	r := obs.NewReport("codsrun")
+	r.SetMeta("dag", o.dagPath)
+	r.SetMeta("policy", o.policyName)
+	r.SetMeta("platform", fmt.Sprintf("%d nodes x %d cores", o.nodes, o.cores))
+	r.SetMeta("bundles_run", strconv.Itoa(rep.BundlesRun))
+	r.SetMeta("tasks_run", strconv.Itoa(rep.TasksRun))
+	ms := fw.MediumStats()
+	r.AddCheck("transport.shm.bytes", r.Metrics.Counters["transport.shm.bytes"], ms.ShmBytes)
+	r.AddCheck("transport.shm.ops", r.Metrics.Counters["transport.shm.ops"], ms.ShmOps)
+	r.AddCheck("transport.network.bytes", r.Metrics.Counters["transport.network.bytes"], ms.NetworkBytes)
+	r.AddCheck("transport.network.ops", r.Metrics.Counters["transport.network.ops"], ms.NetworkOps)
+	// Per-application received bytes by medium (the paper's Figure 9/10
+	// breakdown), from the machine metrics rather than the registry.
+	for _, id := range d.Apps {
+		cShm, cNet, iShm, iNet := fw.AppTraffic(id)
+		r.SetMeta(fmt.Sprintf("app%d.coupled_bytes", id), fmt.Sprintf("shm=%d network=%d", cShm, cNet))
+		r.SetMeta(fmt.Sprintf("app%d.intra_bytes", id), fmt.Sprintf("shm=%d network=%d", iShm, iNet))
+	}
+	return r.WriteFile(o.reportPath)
 }
 
 func ratio(a, b int64) float64 {

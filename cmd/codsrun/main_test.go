@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/insitu/cods/internal/obs"
 )
 
 func writeDAG(t *testing.T, content string) string {
@@ -15,39 +17,116 @@ func writeDAG(t *testing.T, content string) string {
 	return p
 }
 
+// opts builds the options one test invocation needs, starting from the
+// flag defaults that matter.
+func opts(nodes, cores int, domain, dag, policy string, iterations, halo int, verify, verbose bool) options {
+	return options{
+		nodes: nodes, cores: cores, domainSpec: domain, dagPath: dag,
+		policyName: policy, iterations: iterations, halo: halo,
+		verify: verify, verbose: verbose,
+	}
+}
+
 func TestRunConcurrentWorkflowFile(t *testing.T) {
 	dag := writeDAG(t, "DOMAIN 16 16 16\nAPP_ID 1\nAPP_ID 2\nDECOMP 1 blocked 2 2 2\nDECOMP 2 blocked 2 2 1\nBUNDLE 1 2\n")
-	flows := filepath.Join(t.TempDir(), "flows.jsonl")
-	err := run(4, 4, "8x8x8", dag, "data-centric", 1, 1, true, true, flows, nil)
-	if err != nil {
+	o := opts(4, 4, "8x8x8", dag, "data-centric", 1, 1, true, true)
+	o.flowsPath = filepath.Join(t.TempDir(), "flows.jsonl")
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if fi, err := os.Stat(flows); err != nil || fi.Size() == 0 {
+	if fi, err := os.Stat(o.flowsPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("flow trace not written: %v", err)
 	}
 }
 
 func TestRunSequentialWorkflowFile(t *testing.T) {
 	dag := writeDAG(t, "APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\n")
-	err := run(4, 4, "16x16", dag, "round-robin", 1, 1, true, false, "",
-		[]string{"1:blocked:4x2", "2:cyclic:2x2"})
+	o := opts(4, 4, "16x16", dag, "round-robin", 1, 1, true, false)
+	o.appSpecs = []string{"1:blocked:4x2", "2:cyclic:2x2"}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunReportReconciles: -report must produce a report whose transport
+// counters agree exactly with the fabric's per-medium accounting, and
+// -spans must emit a readable parent-linked trace.
+func TestRunReportReconciles(t *testing.T) {
+	obs.Default.Reset()
+	dag := writeDAG(t, "DOMAIN 16 16 16\nAPP_ID 1\nAPP_ID 2\nDECOMP 1 blocked 2 2 1\nDECOMP 2 blocked 2 1 1\nBUNDLE 1 2\n")
+	dir := t.TempDir()
+	o := opts(2, 4, "8x8x8", dag, "data-centric", 1, 1, true, false)
+	o.report = true
+	o.reportPath = filepath.Join(dir, "report.json")
+	o.spansPath = filepath.Join(dir, "spans.jsonl")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := obs.ReadReport(o.reportPath)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !r.Reconciled {
+		t.Fatalf("report not reconciled: %+v", r.Checks)
+	}
+	if len(r.Checks) != 4 {
+		t.Fatalf("got %d reconciliation checks, want 4", len(r.Checks))
+	}
+	var moved int64
+	for _, c := range r.Checks {
+		if !c.Match {
+			t.Errorf("check %s: registry %d != external %d", c.Name, c.Registry, c.External)
+		}
+		moved += c.External
+	}
+	if moved == 0 {
+		t.Fatal("report shows no traffic at all")
+	}
+
+	sf, err := os.Open(o.spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	events, err := obs.ReadSpans(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roots, pulls int
+	for _, ev := range events {
+		if ev.Ev == "b" && ev.Parent == 0 {
+			roots++
+		}
+		if ev.Ev == "b" && len(ev.Name) > 5 && ev.Name[:5] == "pull:" {
+			pulls++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("span trace has %d roots, want 1", roots)
+	}
+	if pulls == 0 {
+		t.Fatal("span trace has no pull spans")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dag := writeDAG(t, "APP_ID 1\n")
+	bad := func(mutate func(*options)) error {
+		o := opts(2, 2, "8x8", dag, "data-centric", 1, 0, false, false)
+		mutate(&o)
+		return run(o)
+	}
 	cases := []struct {
 		name string
 		err  error
 	}{
-		{"missing dag", run(2, 2, "8x8", "", "data-centric", 1, 0, false, false, "", nil)},
-		{"bad policy", run(2, 2, "8x8", dag, "fancy", 1, 0, false, false, "", nil)},
-		{"bad domain", run(2, 2, "8xq", dag, "data-centric", 1, 0, false, false, "", nil)},
-		{"missing app decl", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", nil)},
-		{"bad app spec", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", []string{"nope"})},
-		{"bad app kind", run(2, 2, "8x8", dag, "data-centric", 1, 0, false, false, "", []string{"1:fancy:2x2"})},
+		{"missing dag", bad(func(o *options) { o.dagPath = "" })},
+		{"bad policy", bad(func(o *options) { o.policyName = "fancy" })},
+		{"bad domain", bad(func(o *options) { o.domainSpec = "8xq" })},
+		{"missing app decl", bad(func(o *options) {})},
+		{"bad app spec", bad(func(o *options) { o.appSpecs = []string{"nope"} })},
+		{"bad app kind", bad(func(o *options) { o.appSpecs = []string{"1:fancy:2x2"} })},
 	}
 	for _, c := range cases {
 		if c.err == nil {

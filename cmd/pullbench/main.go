@@ -32,6 +32,7 @@ import (
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/cods"
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
 )
@@ -149,20 +150,35 @@ func (r *rig) timePull(workers, reps int) (time.Duration, [2]int64, error) {
 	return times[len(times)/2], bytes, nil
 }
 
-func runPull(reps int) ([]pullResult, bool, error) {
+// fabricTotals sums the per-medium byte/op accounting over every fabric a
+// run created, for reconciliation against the process-wide registry.
+type fabricTotals struct {
+	bytes [2]int64
+	ops   [2]int64
+}
+
+func (ft *fabricTotals) add(f *transport.Fabric) {
+	for _, md := range []cluster.Medium{cluster.SharedMemory, cluster.Network} {
+		ft.bytes[md] += f.MediumBytes(md)
+		ft.ops[md] += f.MediumOps(md)
+	}
+}
+
+func runPull(reps int) ([]pullResult, bool, fabricTotals, error) {
 	var out []pullResult
+	var totals fabricTotals
 	identical := true
 	for _, transfers := range []int{16, 64, 256} {
 		r, err := buildRig(transfers)
 		if err != nil {
-			return nil, false, err
+			return nil, false, totals, err
 		}
 		var serial time.Duration
 		var serialBytes [2]int64
 		for _, workers := range []int{1, 2, 4, 8} {
 			d, bytes, err := r.timePull(workers, reps)
 			if err != nil {
-				return nil, false, err
+				return nil, false, totals, err
 			}
 			if workers == 1 {
 				serial, serialBytes = d, bytes
@@ -178,8 +194,9 @@ func runPull(reps int) ([]pullResult, bool, error) {
 				SpeedupVsSerial: float64(serial) / float64(d),
 			})
 		}
+		totals.add(r.fabric)
 	}
-	return out, identical, nil
+	return out, identical, totals, nil
 }
 
 func runSpans(reps int) (spanResult, error) {
@@ -239,12 +256,20 @@ func runSpans(reps int) (spanResult, error) {
 func main() {
 	out := flag.String("o", filepath.Join("results", "BENCH_pull.json"), "output JSON path")
 	reps := flag.Int("reps", 7, "timing repetitions per configuration (median kept)")
+	obsReport := flag.Bool("report", false, "enable the metrics registry and write a reconciled report")
+	obsReportPath := flag.String("report-path", filepath.Join("results", "report.json"), "where -report writes the JSON report")
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
 	}
+	if *obsReport {
+		// NOTE: instrumentation on changes what is being measured; -report
+		// timings quantify the registry's overhead, they are not the
+		// baseline numbers.
+		obs.Enable(true)
+	}
 
-	pull, identical, err := runPull(*reps)
+	pull, identical, fabTotals, err := runPull(*reps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
 		os.Exit(1)
@@ -286,4 +311,27 @@ func main() {
 	}
 	fmt.Printf("  spans cached %.1f us vs raw %.1f us  speedup %.2fx\n",
 		float64(spans.CachedNsPerOp)/1e3, float64(spans.RawNsPerOp)/1e3, spans.Speedup)
+
+	if *obsReport {
+		r := obs.NewReport("pullbench")
+		r.SetMeta("reps", fmt.Sprintf("%d", *reps))
+		r.SetMeta("machine", rep.Machine)
+		r.AddCheck("transport.shm.bytes",
+			r.Metrics.Counters["transport.shm.bytes"], fabTotals.bytes[cluster.SharedMemory])
+		r.AddCheck("transport.shm.ops",
+			r.Metrics.Counters["transport.shm.ops"], fabTotals.ops[cluster.SharedMemory])
+		r.AddCheck("transport.network.bytes",
+			r.Metrics.Counters["transport.network.bytes"], fabTotals.bytes[cluster.Network])
+		r.AddCheck("transport.network.ops",
+			r.Metrics.Counters["transport.network.ops"], fabTotals.ops[cluster.Network])
+		if err := r.WriteFile(*obsReportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
+			os.Exit(1)
+		}
+		status := "reconciled"
+		if !r.Reconciled {
+			status = "MISMATCH"
+		}
+		fmt.Printf("wrote %s (registry vs fabric: %s)\n", *obsReportPath, status)
+	}
 }

@@ -50,6 +50,7 @@ import (
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/lock"
 	"github.com/insitu/cods/internal/netsim"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/runtime"
 	"github.com/insitu/cods/internal/trace"
 	"github.com/insitu/cods/internal/workflow"
@@ -124,6 +125,7 @@ type Framework struct {
 	machine *cluster.Machine
 	server  *runtime.Server
 	domain  geometry.BBox
+	tracer  *obs.Tracer
 }
 
 // New bootstraps the framework on a simulated machine.
@@ -251,3 +253,60 @@ func (f *Framework) PhaseTime(phasePrefix string) (float64, error) {
 func (f *Framework) WriteFlows(w io.Writer) error {
 	return trace.Write(w, f.machine.Metrics().Flows(""))
 }
+
+// MediumStats is the fabric's independent per-medium accounting: every
+// transfer increments exactly one medium's bytes and ops at the transport
+// choke point. It is the external truth the observability registry is
+// reconciled against.
+type MediumStats struct {
+	ShmBytes, ShmOps         int64
+	NetworkBytes, NetworkOps int64
+}
+
+// MediumStats returns the fabric's per-medium byte and operation totals.
+func (f *Framework) MediumStats() MediumStats {
+	fab := f.server.Fabric()
+	return MediumStats{
+		ShmBytes:     fab.MediumBytes(cluster.SharedMemory),
+		ShmOps:       fab.MediumOps(cluster.SharedMemory),
+		NetworkBytes: fab.MediumBytes(cluster.Network),
+		NetworkOps:   fab.MediumOps(cluster.Network),
+	}
+}
+
+// AppTraffic returns the bytes received by one application, split by
+// medium, for the coupled (inter-application) and intra-application
+// classes — the per-consumer breakdown of the paper's Figures 9 and 10.
+func (f *Framework) AppTraffic(app int) (coupledShm, coupledNet, intraShm, intraNet int64) {
+	mt := f.machine.Metrics()
+	return mt.AppBytes(app, cluster.InterApp, cluster.SharedMemory),
+		mt.AppBytes(app, cluster.InterApp, cluster.Network),
+		mt.AppBytes(app, cluster.IntraApp, cluster.SharedMemory),
+		mt.AppBytes(app, cluster.IntraApp, cluster.Network)
+}
+
+// EnableObservability switches the process-wide metrics registry on or
+// off. Off (the default) leaves only one atomic load + branch on every
+// instrumented hot path.
+func EnableObservability(on bool) { obs.Enable(on) }
+
+// WriteMetrics renders the current registry contents to w in a stable
+// line-oriented text form (one counter/gauge/histogram per line).
+func (f *Framework) WriteMetrics(w io.Writer) error { return obs.Default.WriteText(w) }
+
+// SetSpanTrace starts span tracing: begin/end events for the workflow run,
+// every bundle group, every task and every CoDS pull are written to w as
+// JSON Lines, parent-linked so a reader can rebuild the execution tree.
+// Pass nil to stop tracing. Call FlushSpans before reading the output.
+func (f *Framework) SetSpanTrace(w io.Writer) {
+	if w == nil {
+		f.tracer = nil
+		f.server.SetTracer(nil)
+		return
+	}
+	f.tracer = obs.NewTracer(w)
+	f.server.SetTracer(f.tracer)
+}
+
+// FlushSpans flushes buffered span events to the SetSpanTrace writer.
+func (f *Framework) FlushSpans() error { return f.tracer.Flush() }

@@ -227,6 +227,14 @@ type Flow struct {
 	Src   NodeID
 	Dst   NodeID
 	Bytes int64
+	// Medium is the String() form of the transfer's medium ("shm",
+	// "network"). Flows synthesized outside the metrics path (what-if
+	// analyses, old traces) may leave it empty, in which case consumers
+	// fall back to the Src == Dst heuristic.
+	Medium string
+	// Class is the String() form of the traffic class ("inter-app",
+	// "intra-app", "control"); empty when unrecorded.
+	Class string
 }
 
 // Metrics accumulates transfer statistics. All methods are safe for
@@ -269,7 +277,10 @@ func (mt *Metrics) Record(phase string, class Class, medium Medium, dstApp int, 
 		mt.perApp[key] = e
 	}
 	e[medium] += n
-	mt.flows = append(mt.flows, Flow{Phase: phase, Src: src, Dst: dst, Bytes: n})
+	mt.flows = append(mt.flows, Flow{
+		Phase: phase, Src: src, Dst: dst, Bytes: n,
+		Medium: medium.String(), Class: class.String(),
+	})
 }
 
 // Bytes returns the total bytes for a class and medium.

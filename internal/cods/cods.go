@@ -29,13 +29,30 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/decomp"
 	"github.com/insitu/cods/internal/dht"
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
+)
+
+// Registry instruments for the put/get/pull pipeline. The per-handle
+// CacheHits/CacheMisses fields remain the per-client view; these counters
+// are the machine-wide aggregate the run report and HTTP endpoint read.
+var (
+	obsSchedHits      = obs.C("cods.sched.cache.hits")
+	obsSchedMisses    = obs.C("cods.sched.cache.misses")
+	obsSchedRaw       = obs.C("cods.sched.transfers_raw")
+	obsSchedCoalesced = obs.C("cods.sched.transfers_coalesced")
+	obsPullOps        = obs.C("cods.pull.ops")
+	obsPullTransfers  = obs.C("cods.pull.transfers")
+	obsPullBytes      = obs.C("cods.pull.bytes")
+	obsPullNs         = obs.H("cods.pull.ns", obs.DefaultLatencyBounds())
+	obsTransferNs     = obs.H("cods.pull.transfer_ns", obs.DefaultLatencyBounds())
 )
 
 // ElemSize is the size of one domain cell in bytes (float64 fields).
@@ -73,6 +90,10 @@ type Space struct {
 	invMu  sync.Mutex
 	epoch  uint64
 	varGen map[string]uint64
+
+	// tracer optionally receives pull spans; stored atomically so it can
+	// be attached while handles are live.
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // NewSpace builds a CoDS over a fabric for a coupled data domain. The
@@ -94,6 +115,11 @@ func NewSpace(f *transport.Fabric, domain geometry.BBox) (*Space, error) {
 // issues per get. n <= 0 restores the default, runtime.GOMAXPROCS(0);
 // n == 1 forces the serial pull path (the ablation baseline).
 func (sp *Space) SetPullWorkers(n int) { sp.pullWorkers.Store(int32(n)) }
+
+// SetTracer attaches a span tracer: every schedule execution emits a
+// "pull:<var>" span (parented under the task span when the runtime wired
+// one). nil detaches.
+func (sp *Space) SetTracer(tr *obs.Tracer) { sp.tracer.Store(tr) }
 
 // PullWorkers returns the effective pull concurrency bound.
 func (sp *Space) PullWorkers() int {
@@ -210,6 +236,10 @@ type Handle struct {
 	// stats
 	CacheHits   int
 	CacheMisses int
+
+	// spanParent optionally parents this handle's pull spans (wired by the
+	// runtime to the task span).
+	spanParent obs.SpanID
 }
 
 // HandleAt creates a client handle for the given core, owned by app. phase
@@ -227,6 +257,10 @@ func (sp *Space) HandleAt(core cluster.CoreID, app int, phase string) *Handle {
 
 // SetPhase switches the metering phase tag.
 func (h *Handle) SetPhase(phase string) { h.phase = phase }
+
+// SetSpanParent parents this handle's pull spans under an enclosing span
+// (the runtime passes its task span).
+func (h *Handle) SetSpanParent(id obs.SpanID) { h.spanParent = id }
 
 // Core returns the core this handle is bound to.
 func (h *Handle) Core() cluster.CoreID { return h.core }
@@ -326,6 +360,7 @@ func (h *Handle) concurrentSchedule(info ProducerInfo, region geometry.BBox) []t
 // volume exactly, so the byte accounting of a normalized schedule is
 // identical to the raw one — there are just fewer, larger pulls.
 func normalizeSchedule(sched []transfer) []transfer {
+	obsSchedRaw.Add(int64(len(sched)))
 	if len(sched) < 2 {
 		return sched
 	}
@@ -346,6 +381,7 @@ func normalizeSchedule(sched []transfer) []transfer {
 		}
 		g.subs = append(g.subs, tr.Sub)
 	}
+	raw := len(sched)
 	out := sched[:0]
 	for _, g := range groups {
 		for _, sub := range geometry.Coalesce(g.subs) {
@@ -353,6 +389,7 @@ func normalizeSchedule(sched []transfer) []transfer {
 		}
 	}
 	sortSchedule(out)
+	obsSchedCoalesced.Add(int64(raw - len(out)))
 	return out
 }
 
@@ -439,6 +476,16 @@ func (h *Handle) sequentialSchedule(v string, version int, region geometry.BBox)
 // cells of the output without locking, so the result is byte-identical to
 // the serial path regardless of completion order.
 func (h *Handle) pull(v string, version int, region geometry.BBox, sched []transfer) ([]float64, error) {
+	if obs.Enabled() {
+		start := time.Now()
+		obsPullOps.Inc()
+		obsPullTransfers.Add(int64(len(sched)))
+		obsPullBytes.Add(region.Volume() * ElemSize)
+		defer func() { obsPullNs.Observe(time.Since(start).Nanoseconds()) }()
+	}
+	if tr := h.sp.tracer.Load(); tr != nil {
+		defer tr.Start(h.spanParent, "pull:"+v).End()
+	}
 	out := make([]float64, region.Volume())
 	m := h.meter()
 	workers := h.sp.PullWorkers()
@@ -487,11 +534,21 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 // pullOne performs one receiver-driven transfer of a schedule, copying the
 // pulled cells into their slot of the output buffer.
 func (h *Handle) pullOne(out []float64, region geometry.BBox, v string, version int, tr transfer, m transport.Meter) error {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
 	err := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
 		tr.Sub.Volume()*ElemSize, func(payload any) {
 			obj := payload.(*StoredObject)
 			copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
 		})
+	if !start.IsZero() {
+		// Includes the blocking wait for the producer's Expose and any
+		// simulated read latency: it is the consumer-observed transfer
+		// latency, the quantity the pull worker pool overlaps.
+		obsTransferNs.Observe(time.Since(start).Nanoseconds())
+	}
 	if err != nil {
 		return fmt.Errorf("cods: pulling %v of %q v%d from core %d: %w",
 			tr.Sub, v, version, tr.Owner, err)
@@ -590,6 +647,7 @@ func (h *Handle) cachedSchedule(key, v string) ([]transfer, bool) {
 		return nil, false
 	}
 	h.CacheHits++
+	obsSchedHits.Inc()
 	return e.sched, true
 }
 
@@ -598,6 +656,7 @@ func (h *Handle) cachedSchedule(key, v string) ([]transfer, bool) {
 // computation leaves the entry already-stale instead of masked.
 func (h *Handle) storeSchedule(key, v string, sched []transfer, epoch, gen uint64) {
 	h.CacheMisses++
+	obsSchedMisses.Inc()
 	if h.CacheEnabled {
 		h.schedCache[key] = schedEntry{sched: sched, v: v, epoch: epoch, gen: gen}
 	}

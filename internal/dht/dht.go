@@ -16,12 +16,38 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
 )
+
+// Registry instruments for the lookup service. The per-shard op counters
+// are a contention proxy: a heavily skewed distribution means most
+// requests serialize on one shard lock, a flat one means the sharding is
+// doing its job (there is no cheap portable way to measure lock wait
+// directly, so we count the operations that take each lock).
+var (
+	obsQueryNs     = obs.H("dht.query_ns", obs.DefaultLatencyBounds())
+	obsQueryOps    = obs.C("dht.query.ops")
+	obsQueryFanout = obs.C("dht.query.fanout_calls")
+	obsInsertOps   = obs.C("dht.insert.ops")
+	obsRemoveOps   = obs.C("dht.remove.ops")
+	obsShardReads  = obs.C("dht.table.shard_reads")
+	obsShardWrites = obs.C("dht.table.shard_writes")
+	obsShardOps    = shardOpCounters()
+)
+
+func shardOpCounters() [tableShards]*obs.Counter {
+	var out [tableShards]*obs.Counter
+	for i := range out {
+		out[i] = obs.C(fmt.Sprintf("dht.table.shard%02d.ops", i))
+	}
+	return out
+}
 
 // Entry is one location record: data for Region of variable Var at Version
 // is stored in the memory of core Owner.
@@ -79,15 +105,23 @@ func newTable() *table {
 	return t
 }
 
-// shardOf picks the shard holding a variable's entries (FNV-1a over the
-// variable name).
-func (t *table) shardOf(v string) *tableShard {
+// shardIndex picks the shard slot holding a variable's entries (FNV-1a
+// over the variable name).
+func shardIndex(v string) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(v); i++ {
 		h ^= uint32(v[i])
 		h *= 16777619
 	}
-	return &t.shards[h&(tableShards-1)]
+	return int(h & (tableShards - 1))
+}
+
+// shardOf returns the shard holding a variable's entries, counting the
+// access so shard-balance is observable.
+func (t *table) shardOf(v string) *tableShard {
+	i := shardIndex(v)
+	obsShardOps[i].Inc()
+	return &t.shards[i]
 }
 
 func tkey(v string, version int) string { return fmt.Sprintf("%s\x00%d", v, version) }
@@ -183,6 +217,7 @@ func (s *Service) serve(node int, req any) (any, error) {
 	t := s.tables[node]
 	switch r := req.(type) {
 	case insertReq:
+		obsShardWrites.Inc()
 		sh := t.shardOf(r.Entry.Var)
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -195,6 +230,7 @@ func (s *Service) serve(node int, req any) (any, error) {
 		sh.entries[k] = append(sh.entries[k], r.Entry)
 		return nil, nil
 	case removeReq:
+		obsShardWrites.Inc()
 		sh := t.shardOf(r.Entry.Var)
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
@@ -211,6 +247,7 @@ func (s *Service) serve(node int, req any) (any, error) {
 		}
 		return nil, nil
 	case queryReq:
+		obsShardReads.Inc()
 		sh := t.shardOf(r.Var)
 		sh.mu.RLock()
 		defer sh.mu.RUnlock()
@@ -255,6 +292,7 @@ func (cl *Client) Insert(phase string, app int, e Entry) error {
 	if len(nodes) == 0 {
 		return fmt.Errorf("dht: region %v outside the curve domain", e.Region)
 	}
+	obsInsertOps.Inc()
 	size := entrySize(e)
 	for _, node := range nodes {
 		if _, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, insertReq{Entry: e},
@@ -271,6 +309,7 @@ func (cl *Client) Remove(phase string, app int, e Entry) error {
 	if e.Region.Empty() {
 		return fmt.Errorf("dht: removing empty region for %q", e.Var)
 	}
+	obsRemoveOps.Inc()
 	size := entrySize(e)
 	for _, node := range cl.svc.nodesForRegion(e.Region) {
 		if _, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, removeReq{Entry: e},
@@ -290,6 +329,15 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 	req := queryReq{Var: v, Version: version, Region: region}
 	reqSize := int64(len(v)) + 8 + int64(16*region.Dim())
 	nodes := cl.svc.nodesForRegion(region)
+	// Meter the whole fan-out — span translation, the concurrent per-node
+	// RPCs, and the deduplicating merge — as one query latency sample.
+	var queryStart time.Time
+	if obs.Enabled() {
+		queryStart = time.Now()
+		obsQueryOps.Inc()
+		obsQueryFanout.Add(int64(len(nodes)))
+		defer func() { obsQueryNs.Observe(time.Since(queryStart).Nanoseconds()) }()
+	}
 	// Fan the per-node lookups out concurrently: a region spanning several
 	// DHT intervals pays one round trip instead of len(nodes). Results are
 	// gathered per node index, keeping the merge deterministic.

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// The HTTP endpoint is the expvar-style live view of a registry: GET /
+// (or /metrics) returns the JSON snapshot, GET /metrics.txt the text
+// rendering. It is optional — nothing in the framework starts a listener
+// unless a command is asked to (codsrun -obs-http).
+
+// Handler serves a registry over HTTP.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	serveJSON := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	}
+	mux.HandleFunc("/", serveJSON)
+	mux.HandleFunc("/metrics", serveJSON)
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	return mux
+}
+
+// Serve starts an HTTP listener for the registry on addr (":0" picks a
+// free port) and returns the listener; close it to stop serving. The
+// bound address is listener.Addr().
+func Serve(addr string, r *Registry) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// A Report is the structured artifact of one instrumented run: the
+// registry snapshot, arbitrary run metadata, and a reconciliation section
+// that cross-checks registry totals against an independent source (the
+// fabric's per-medium counters, the machine metrics). The reconciliation
+// is the point: when the registry and the transport layer disagree about
+// how many bytes moved, instrumentation has drifted and the report makes
+// that visible instead of silently reporting one of the two numbers.
+
+// Check is one reconciliation row: a registry-derived value against the
+// same quantity measured independently.
+type Check struct {
+	Name     string `json:"name"`
+	Registry int64  `json:"registry"`
+	External int64  `json:"external"`
+	Match    bool   `json:"match"`
+}
+
+// Report is a structured run report, serialized as indented JSON.
+type Report struct {
+	GeneratedBy string            `json:"generated_by"`
+	Meta        map[string]string `json:"meta,omitempty"`
+	Metrics     Snapshot          `json:"metrics"`
+	Checks      []Check           `json:"reconciliation,omitempty"`
+	// Reconciled is true when every check matches.
+	Reconciled bool `json:"reconciled"`
+}
+
+// NewReport starts a report for the given producer (e.g. "cmd/codsrun")
+// with a snapshot of the default registry.
+func NewReport(generatedBy string) *Report {
+	return &Report{
+		GeneratedBy: generatedBy,
+		Meta:        make(map[string]string),
+		Metrics:     Default.Snapshot(),
+		Reconciled:  true,
+	}
+}
+
+// AddCheck appends a reconciliation row and folds its result into the
+// report's overall verdict.
+func (r *Report) AddCheck(name string, registry, external int64) {
+	ok := registry == external
+	r.Checks = append(r.Checks, Check{Name: name, Registry: registry, External: external, Match: ok})
+	if !ok {
+		r.Reconciled = false
+	}
+}
+
+// SetMeta records one metadata key of the run (DAG path, policy, machine
+// shape, ...).
+func (r *Report) SetMeta(key, value string) { r.Meta[key] = value }
+
+// WriteJSON serializes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path, creating parent directories.
+func (r *Report) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadReport loads a report written by WriteFile (for tests and tools).
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("obs: %s: %w", path, err)
+	}
+	return &r, nil
+}

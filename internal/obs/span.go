@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The span tracer records begin/end events of named operations with parent
+// linkage, so a workflow run can be unfolded into a tree: workflow ->
+// bundle group -> task -> pull. Events are serialized as JSON Lines, the
+// same stream-appendable one-object-per-line format internal/trace uses
+// for flow dumps — a span trace extends a flow trace rather than replacing
+// it, and the two can be concatenated into one file without ambiguity
+// (span events carry an "ev" discriminator field flows never have).
+
+// SpanID identifies one span within a tracer. 0 means "no span" and is
+// used as the root parent.
+type SpanID uint64
+
+// SpanEvent is the serialized form of one tracer event.
+type SpanEvent struct {
+	// Ev discriminates the event kind: "b" for begin, "e" for end.
+	Ev string `json:"ev"`
+	// ID is the span's identifier, unique per tracer.
+	ID SpanID `json:"id"`
+	// Parent links to the enclosing span (0 = root).
+	Parent SpanID `json:"parent,omitempty"`
+	// Name labels the operation, e.g. "task:2:1" or "pull:data.1".
+	Name string `json:"name"`
+	// T is the event time in nanoseconds relative to the tracer's start.
+	T int64 `json:"t_ns"`
+	// Dur is the span duration in nanoseconds, set on end events.
+	Dur int64 `json:"dur_ns,omitempty"`
+}
+
+// Tracer streams span events to a writer. All methods are safe for
+// concurrent use, and every method on a nil *Tracer is a no-op, so
+// instrumented code never branches on whether tracing is wired up.
+type Tracer struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	err    error
+	start  time.Time
+	nextID atomic.Uint64
+}
+
+// NewTracer creates a tracer writing JSON Lines span events to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+}
+
+// Span is a live span handle; call End exactly once.
+type Span struct {
+	tr    *Tracer
+	id    SpanID
+	name  string
+	begin time.Time
+}
+
+// ID returns the span's identifier (0 for the zero Span).
+func (s Span) ID() SpanID { return s.id }
+
+// Start begins a new span under parent (0 for a root span) and writes its
+// begin event.
+func (t *Tracer) Start(parent SpanID, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	id := SpanID(t.nextID.Add(1))
+	now := time.Now()
+	t.emit(SpanEvent{Ev: "b", ID: id, Parent: parent, Name: name, T: now.Sub(t.start).Nanoseconds()})
+	return Span{tr: t, id: id, name: name, begin: now}
+}
+
+// End writes the span's end event with its measured duration. End on the
+// zero Span is a no-op.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	now := time.Now()
+	s.tr.emit(SpanEvent{
+		Ev:   "e",
+		ID:   s.id,
+		Name: s.name,
+		T:    now.Sub(s.tr.start).Nanoseconds(),
+		Dur:  now.Sub(s.begin).Nanoseconds(),
+	})
+}
+
+// emit serializes one event; the first write error sticks and is returned
+// by Flush.
+func (t *Tracer) emit(ev SpanEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+// Flush drains buffered events to the underlying writer and returns the
+// first error seen, if any. Safe on a nil tracer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// ReadSpans loads a JSON Lines span trace, reporting malformed input with
+// its 1-based line number.
+func ReadSpans(r io.Reader) ([]SpanEvent, error) {
+	br := bufio.NewReader(r)
+	var out []SpanEvent
+	line := 0
+	for {
+		text, err := br.ReadString('\n')
+		if text != "" {
+			line++
+			if trimmed := strings.TrimSpace(text); trimmed != "" {
+				var ev SpanEvent
+				if uerr := json.Unmarshal([]byte(trimmed), &ev); uerr != nil {
+					return nil, fmt.Errorf("obs: line %d: %w", line, uerr)
+				}
+				out = append(out, ev)
+			}
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

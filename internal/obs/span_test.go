@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerParentLinkage(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start(0, "workflow")
+	child := tr.Start(root.ID(), "task:1:0")
+	child.End()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	if evs[0].Ev != "b" || evs[0].Name != "workflow" || evs[0].Parent != 0 {
+		t.Fatalf("root begin = %+v", evs[0])
+	}
+	if evs[1].Ev != "b" || evs[1].Parent != evs[0].ID {
+		t.Fatalf("child begin = %+v (root id %d)", evs[1], evs[0].ID)
+	}
+	if evs[2].Ev != "e" || evs[2].ID != evs[1].ID || evs[2].Dur < 0 {
+		t.Fatalf("child end = %+v", evs[2])
+	}
+	if evs[3].Ev != "e" || evs[3].ID != evs[0].ID {
+		t.Fatalf("root end = %+v", evs[3])
+	}
+	if evs[3].Dur < evs[2].Dur {
+		t.Fatalf("parent duration %d < child duration %d", evs[3].Dur, evs[2].Dur)
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(0, "x")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("nil tracer handed out an id")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start(0, "root")
+	const workers = 8
+	const spansPer = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				tr.Start(root.ID(), "op").End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (workers*spansPer + 1)
+	if len(evs) != want {
+		t.Fatalf("events = %d, want %d", len(evs), want)
+	}
+	seen := map[SpanID]int{}
+	for _, ev := range evs {
+		seen[ev.ID]++
+	}
+	for id, n := range seen {
+		if n != 2 {
+			t.Fatalf("span %d has %d events, want begin+end", id, n)
+		}
+	}
+}
+
+func TestReadSpansLineNumbers(t *testing.T) {
+	in := `{"ev":"b","id":1,"name":"a","t_ns":0}
+{"ev":"e","id":1,"name":"a","t_ns":5,"dur_ns":5}
+garbage here
+`
+	_, err := ReadSpans(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}

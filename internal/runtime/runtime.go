@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/cods"
@@ -28,8 +30,21 @@ import (
 	"github.com/insitu/cods/internal/lock"
 	"github.com/insitu/cods/internal/mapping"
 	"github.com/insitu/cods/internal/mpi"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/transport"
 	"github.com/insitu/cods/internal/workflow"
+)
+
+// Registry instruments for the workflow engine: per-phase wall clock (the
+// mapping decision and the group launch are the two server-side phases the
+// paper's Figure 13/14 cost out) and run-shape counters.
+var (
+	obsMapNs       = obs.H("runtime.map_ns", obs.DefaultLatencyBounds())
+	obsGroupNs     = obs.H("runtime.group_ns", obs.DefaultLatencyBounds())
+	obsTaskNs      = obs.H("runtime.task_ns", obs.DefaultLatencyBounds())
+	obsBundlesRun  = obs.C("runtime.bundles_run")
+	obsTasksRun    = obs.C("runtime.tasks_run")
+	obsTasksActive = obs.G("runtime.tasks_active")
 )
 
 // Policy selects the task mapping strategy for a run.
@@ -116,6 +131,8 @@ type Server struct {
 
 	mu      sync.Mutex
 	clients map[cluster.CoreID]clientState
+
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // NewServer bootstraps the framework on a machine for a coupled data
@@ -140,6 +157,14 @@ func NewServer(m *cluster.Machine, domain geometry.BBox, seed int64) (*Server, e
 		s.clients[cluster.CoreID(c)] = clientIdle
 	}
 	return s, nil
+}
+
+// SetTracer routes span events from the workflow engine — and from the
+// CoDS pulls the launched tasks perform — to tr. A nil tracer disables
+// span emission.
+func (s *Server) SetTracer(tr *obs.Tracer) {
+	s.tracer.Store(tr)
+	s.space.SetTracer(tr)
 }
 
 // Machine returns the underlying machine.
@@ -195,6 +220,9 @@ func (s *Server) Run(d *workflow.DAG, policy Policy) (*Report, error) {
 	}
 	eng := workflow.NewEngine(d)
 	rep := &Report{Policy: policy, PlacementOf: make(map[int]*cluster.Placement)}
+	tr := s.tracer.Load()
+	root := tr.Start(0, "workflow:"+policy.String())
+	defer root.End()
 	for !eng.Finished() {
 		ready := eng.Ready()
 		if len(ready) == 0 {
@@ -223,12 +251,30 @@ func (s *Server) Run(d *workflow.DAG, policy Policy) (*Report, error) {
 				}
 				appIDs = append(appIDs, d.Bundles[b]...)
 			}
+			var mapStart time.Time
+			if obs.Enabled() {
+				mapStart = time.Now()
+			}
 			pl, err := s.mapGroup(d, appIDs, policy)
 			if err != nil {
 				return nil, err
 			}
-			if err := s.launchGroup(appIDs, pl); err != nil {
+			if !mapStart.IsZero() {
+				obsMapNs.Observe(time.Since(mapStart).Nanoseconds())
+			}
+			gs := tr.Start(root.ID(), fmt.Sprintf("group:%v", appIDs))
+			var groupStart time.Time
+			if obs.Enabled() {
+				groupStart = time.Now()
+				obsBundlesRun.Add(int64(len(grp)))
+			}
+			err = s.launchGroup(appIDs, pl, gs.ID())
+			gs.End()
+			if err != nil {
 				return nil, err
+			}
+			if !groupStart.IsZero() {
+				obsGroupNs.Observe(time.Since(groupStart).Nanoseconds())
 			}
 			for _, a := range appIDs {
 				rep.PlacementOf[a] = pl
@@ -326,7 +372,7 @@ func sameBundle(d *workflow.DAG, appIDs []int) bool {
 // core: a bundle-wide communicator is created, each execution client
 // colors itself with its application id and splits into the per-app
 // communicator, then runs the registered subroutine.
-func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement) error {
+func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.SpanID) error {
 	// Deterministic task order defines bundle-comm ranks.
 	tasks := pl.Tasks()
 	if len(tasks) == 0 {
@@ -354,6 +400,7 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement) error {
 	s.markClients(cores, clientBusy)
 	defer s.markClients(cores, clientIdle)
 
+	tr := s.tracer.Load()
 	errs := make([]error, len(tasks))
 	var wg sync.WaitGroup
 	for i, t := range tasks {
@@ -365,6 +412,17 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement) error {
 					errs[i] = fmt.Errorf("runtime: task %v panicked: %v", t, r)
 				}
 			}()
+			ts := tr.Start(parent, fmt.Sprintf("task:%d.%d", t.App, t.Rank))
+			defer ts.End()
+			if obs.Enabled() {
+				taskStart := time.Now()
+				obsTasksRun.Inc()
+				obsTasksActive.Add(1)
+				defer func() {
+					obsTasksActive.Add(-1)
+					obsTaskNs.Observe(time.Since(taskStart).Nanoseconds())
+				}()
+			}
 			// Coloring: same app id -> same process group.
 			sub, err := bundleComms[i].CommSplit(t.App, t.Rank)
 			if err != nil {
@@ -378,11 +436,13 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement) error {
 					others[a] = info
 				}
 			}
+			h := s.space.HandleAt(cores[i], t.App, fmt.Sprintf("app:%d", t.App))
+			h.SetSpanParent(ts.ID())
 			ctx := &AppContext{
 				AppID:     t.App,
 				Rank:      t.Rank,
 				Comm:      sub,
-				Space:     s.space.HandleAt(cores[i], t.App, fmt.Sprintf("app:%d", t.App)),
+				Space:     h,
 				Decomp:    spec.Decomp,
 				Producers: others,
 				Locks:     s.locks.ClientAt(cores[i]),

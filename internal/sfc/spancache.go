@@ -7,6 +7,16 @@ import (
 	"sync"
 
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
+)
+
+// Registry mirrors of the cache's own hit/miss fields, plus the eviction
+// count the fields never tracked; one place (internal/obs) aggregates them
+// with the rest of the pipeline's counters.
+var (
+	obsHits      = obs.C("sfc.spancache.hits")
+	obsMisses    = obs.C("sfc.spancache.misses")
+	obsEvictions = obs.C("sfc.spancache.evictions")
 )
 
 // The span cache memoizes Curve.Spans results. The orthant walk is
@@ -86,9 +96,11 @@ func (c *spanCache) get(key spanKey) ([]Span, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
+		obsMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	obsHits.Inc()
 	c.order.MoveToFront(el)
 	cached := el.Value.(*spanCacheEntry).spans
 	out := make([]Span, len(cached))
@@ -116,6 +128,7 @@ func (c *spanCache) put(key spanKey, spans []Span) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*spanCacheEntry).key)
+		obsEvictions.Inc()
 	}
 }
 
@@ -127,6 +140,7 @@ func (c *spanCache) setCapacity(n int) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*spanCacheEntry).key)
+		obsEvictions.Inc()
 	}
 }
 

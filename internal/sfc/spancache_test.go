@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/obs"
 )
 
 // resetCache restores the default cache state after a test.
@@ -116,6 +117,77 @@ func TestSpanCacheKeyedByCurve(t *testing.T) {
 	b2 := c5.Spans(q)
 	if len(a) != len(a2) || len(b) != len(b2) {
 		t.Fatalf("cached results differ from uncached: %v/%v vs %v/%v", a, b, a2, b2)
+	}
+}
+
+// TestSpanCacheCountersConcurrent: with observability on, every Spans call
+// lands in exactly one of the hit/miss registry counters even when callers
+// race (run under -race), and the registry deltas agree with the cache's
+// own stats.
+func TestSpanCacheCountersConcurrent(t *testing.T) {
+	resetCache(t)
+	prev := obs.Enabled()
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(prev) })
+	baseHits, baseMisses := obsHits.Value(), obsMisses.Value()
+
+	c, err := NewCurve(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perGoroutine = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGoroutine; i++ {
+				// A small set of distinct queries so every goroutine mixes
+				// first-time misses with repeat hits.
+				q := geometry.NewBBox(
+					geometry.Point{(g + i) % 8, i % 8},
+					geometry.Point{(g+i)%8 + 4, i%8 + 4})
+				c.Spans(q)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	dHits := obsHits.Value() - baseHits
+	dMisses := obsMisses.Value() - baseMisses
+	if dHits+dMisses != goroutines*perGoroutine {
+		t.Fatalf("hits %d + misses %d = %d, want %d calls",
+			dHits, dMisses, dHits+dMisses, goroutines*perGoroutine)
+	}
+	if dMisses == 0 {
+		t.Fatal("expected at least one miss for first-time queries")
+	}
+	hits, misses, _ := SpanCacheStats()
+	if int64(hits) != dHits || int64(misses) != dMisses {
+		t.Fatalf("registry deltas (%d/%d) disagree with cache stats (%d/%d)",
+			dHits, dMisses, hits, misses)
+	}
+}
+
+// TestSpanCacheEvictionCounter: over-capacity inserts of distinct keys must
+// be counted one eviction each.
+func TestSpanCacheEvictionCounter(t *testing.T) {
+	resetCache(t)
+	prev := obs.Enabled()
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(prev) })
+	base := obsEvictions.Value()
+
+	SetSpanCacheCapacity(4)
+	c, _ := NewCurve(2, 5)
+	const queries = 10
+	for i := 0; i < queries; i++ {
+		q := geometry.NewBBox(geometry.Point{i, 0}, geometry.Point{i + 3, 5})
+		c.Spans(q)
+	}
+	if got := obsEvictions.Value() - base; got != queries-4 {
+		t.Fatalf("evictions = %d, want %d", got, queries-4)
 	}
 }
 

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+// FuzzWriteReadRoundTrip feeds arbitrary flow fields through Write and
+// asserts Read returns them unchanged: the trace format must be lossless
+// for any phase string (newlines, JSON metacharacters, invalid UTF-8) and
+// any label combination.
+func FuzzWriteReadRoundTrip(f *testing.F) {
+	f.Add("couple:2:0", 0, 3, int64(1024), "network", "inter-app")
+	f.Add("", -1, -1, int64(0), "", "")
+	f.Add("weird\"phase\nwith\\lines", 7, 7, int64(1<<40), "shm", "control")
+	f.Add("{\"phase\":\"nested\"}", 1, 2, int64(3), "bogus-medium", "bogus-class")
+	f.Fuzz(func(t *testing.T, phase string, src, dst int, bytes64 int64, medium, class string) {
+		if bytes64 < 0 {
+			bytes64 = -bytes64
+		}
+		if bytes64 < 0 { // math.MinInt64 negates to itself
+			bytes64 = 0
+		}
+		in := []cluster.Flow{{
+			Phase:  phase,
+			Src:    cluster.NodeID(src),
+			Dst:    cluster.NodeID(dst),
+			Bytes:  bytes64,
+			Medium: medium,
+			Class:  class,
+		}}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			t.Fatalf("Write(%+v) = %v", in[0], err)
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read after Write(%+v) = %v", in[0], err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("read %d flows, want 1", len(out))
+		}
+		// encoding/json replaces invalid UTF-8 with U+FFFD; normalize the
+		// expectation the same way so the comparison tests the format, not
+		// Go's string sanitization.
+		want := in[0]
+		want.Phase = sanitize(want.Phase)
+		want.Medium = sanitize(want.Medium)
+		want.Class = sanitize(want.Class)
+		if out[0] != want {
+			t.Fatalf("round trip: %+v != %+v", out[0], want)
+		}
+	})
+}
+
+// sanitize mirrors encoding/json's coercion of invalid UTF-8: every
+// invalid byte becomes one U+FFFD (strings.ToValidUTF8 would collapse
+// runs, which json does not).
+func sanitize(s string) string {
+	if utf8.ValidString(s) {
+		return s
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			sb.WriteRune(utf8.RuneError)
+		} else {
+			sb.WriteString(s[i : i+size])
+		}
+		i += size
+	}
+	return sb.String()
+}
+
+// FuzzRead feeds arbitrary bytes to Read: it must never panic, and
+// whatever it accepts must survive a Write/Read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte(`{"phase":"a","src":0,"dst":1,"bytes":5}` + "\n"))
+	f.Add([]byte("\n\nnot json\n"))
+	f.Add([]byte(`{"phase":"a","src":0,"dst":1,"bytes":5,"medium":"shm","class":"control"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		flows, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, flows); err != nil {
+			t.Fatalf("Write(accepted flows) = %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read = %v", err)
+		}
+		if len(again) != len(flows) {
+			t.Fatalf("re-read %d flows, want %d", len(again), len(flows))
+		}
+		for i := range flows {
+			if again[i] != flows[i] {
+				t.Fatalf("flow %d: %+v != %+v", i, again[i], flows[i])
+			}
+		}
+	})
+}

@@ -10,16 +10,22 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"github.com/insitu/cods/internal/cluster"
 )
 
-// Record is the serialized form of one transfer flow.
+// Record is the serialized form of one transfer flow. Medium and Class
+// were added after the first trace format; they are omitted when empty so
+// old readers ignore nothing and old traces (which lack them) still Read
+// cleanly into flows with empty labels.
 type Record struct {
-	Phase string `json:"phase"`
-	Src   int    `json:"src"`
-	Dst   int    `json:"dst"`
-	Bytes int64  `json:"bytes"`
+	Phase  string `json:"phase"`
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Bytes  int64  `json:"bytes"`
+	Medium string `json:"medium,omitempty"` // "shm" or "network"
+	Class  string `json:"class,omitempty"`  // "inter-app", "intra-app" or "control"
 }
 
 // Write streams flows to w as JSON Lines.
@@ -28,10 +34,12 @@ func Write(w io.Writer, flows []cluster.Flow) error {
 	enc := json.NewEncoder(bw)
 	for _, f := range flows {
 		if err := enc.Encode(Record{
-			Phase: f.Phase,
-			Src:   int(f.Src),
-			Dst:   int(f.Dst),
-			Bytes: f.Bytes,
+			Phase:  f.Phase,
+			Src:    int(f.Src),
+			Dst:    int(f.Dst),
+			Bytes:  f.Bytes,
+			Medium: f.Medium,
+			Class:  f.Class,
 		}); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
@@ -39,35 +47,56 @@ func Write(w io.Writer, flows []cluster.Flow) error {
 	return bw.Flush()
 }
 
-// Read loads a JSON Lines flow trace.
+// Read loads a JSON Lines flow trace. Malformed input is reported with the
+// 1-based line number of the offending input line (blank lines count but
+// are skipped), not the number of flows decoded so far.
 func Read(r io.Reader) ([]cluster.Flow, error) {
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
 	var out []cluster.Flow
+	line := 0
 	for {
-		var rec Record
-		if err := dec.Decode(&rec); err == io.EOF {
+		text, rerr := br.ReadString('\n')
+		if text != "" {
+			line++
+			if trimmed := strings.TrimSpace(text); trimmed != "" {
+				var rec Record
+				if err := json.Unmarshal([]byte(trimmed), &rec); err != nil {
+					return nil, fmt.Errorf("trace: line %d: %w", line, err)
+				}
+				if rec.Bytes < 0 {
+					return nil, fmt.Errorf("trace: line %d: negative byte count", line)
+				}
+				out = append(out, cluster.Flow{
+					Phase:  rec.Phase,
+					Src:    cluster.NodeID(rec.Src),
+					Dst:    cluster.NodeID(rec.Dst),
+					Bytes:  rec.Bytes,
+					Medium: rec.Medium,
+					Class:  rec.Class,
+				})
+			}
+		}
+		if rerr == io.EOF {
 			return out, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
 		}
-		if rec.Bytes < 0 {
-			return nil, fmt.Errorf("trace: line %d: negative byte count", len(out)+1)
+		if rerr != nil {
+			return nil, fmt.Errorf("trace: %w", rerr)
 		}
-		out = append(out, cluster.Flow{
-			Phase: rec.Phase,
-			Src:   cluster.NodeID(rec.Src),
-			Dst:   cluster.NodeID(rec.Dst),
-			Bytes: rec.Bytes,
-		})
 	}
 }
 
 // PhaseStat summarizes the flows of one phase tag.
 type PhaseStat struct {
-	Phase        string
-	Flows        int
+	Phase string
+	Flows int
+	// NetworkBytes and LocalBytes split the phase's volume by medium:
+	// flows labeled "network" vs "shm". Unlabeled flows (old traces,
+	// synthesized what-if flows) fall back to the Src != Dst heuristic.
 	NetworkBytes int64
 	LocalBytes   int64
+	// ByClass totals the phase's bytes per recorded traffic class;
+	// unlabeled flows are omitted (nil map when no flow carries a class).
+	ByClass map[string]int64
 }
 
 // Summarize aggregates a flow list per phase, sorted by phase name.
@@ -80,10 +109,20 @@ func Summarize(flows []cluster.Flow) []PhaseStat {
 			byPhase[f.Phase] = st
 		}
 		st.Flows++
-		if f.Src == f.Dst {
-			st.LocalBytes += f.Bytes
-		} else {
+		network := f.Src != f.Dst
+		if f.Medium != "" {
+			network = f.Medium == cluster.Network.String()
+		}
+		if network {
 			st.NetworkBytes += f.Bytes
+		} else {
+			st.LocalBytes += f.Bytes
+		}
+		if f.Class != "" {
+			if st.ByClass == nil {
+				st.ByClass = make(map[string]int64)
+			}
+			st.ByClass[f.Class] += f.Bytes
 		}
 	}
 	out := make([]PhaseStat, 0, len(byPhase))

@@ -52,6 +52,80 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadErrorLineNumber: the reported line must be the actual input
+// line, even when earlier lines were blank or decoding fails mid-stream
+// (the old implementation counted decoded flows, miscounting both).
+func TestReadErrorLineNumber(t *testing.T) {
+	in := `{"phase":"a","src":0,"dst":1,"bytes":1}
+
+{"phase":"b","src":0,"dst":1,"bytes":2}
+not json
+`
+	_, err := Read(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want line 4", err)
+	}
+	_, err = Read(strings.NewReader(`{"bytes":-1}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("err = %v, want line 1", err)
+	}
+}
+
+// TestMediumClassRoundTrip: the medium/class labels survive the trip, and
+// traces written before the fields existed read cleanly as unlabeled.
+func TestMediumClassRoundTrip(t *testing.T) {
+	in := []cluster.Flow{
+		{Phase: "couple:2:0", Src: 0, Dst: 3, Bytes: 1024, Medium: "network", Class: "inter-app"},
+		{Phase: "halo:1:0", Src: 2, Dst: 2, Bytes: 64, Medium: "shm", Class: "intra-app"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"medium":""`) {
+		t.Fatal("empty medium not omitted")
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("flow %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	// Old format: no medium/class keys at all.
+	legacy := `{"phase":"p","src":1,"dst":2,"bytes":9}` + "\n"
+	out, err = Read(strings.NewReader(legacy))
+	if err != nil || len(out) != 1 || out[0].Medium != "" || out[0].Class != "" {
+		t.Fatalf("legacy read = %+v, %v", out, err)
+	}
+}
+
+// TestSummarizeByMedium: labeled flows are split by their recorded medium
+// rather than the Src == Dst heuristic, and class totals are gathered.
+func TestSummarizeByMedium(t *testing.T) {
+	flows := []cluster.Flow{
+		// Same node, but explicitly labeled network: label wins.
+		{Phase: "p", Src: 1, Dst: 1, Bytes: 10, Medium: "network", Class: "control"},
+		{Phase: "p", Src: 0, Dst: 1, Bytes: 20, Medium: "network", Class: "inter-app"},
+		{Phase: "p", Src: 2, Dst: 2, Bytes: 30, Medium: "shm", Class: "inter-app"},
+		// Unlabeled: falls back to Src != Dst.
+		{Phase: "p", Src: 0, Dst: 2, Bytes: 5},
+	}
+	stats := Summarize(flows)
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	st := stats[0]
+	if st.NetworkBytes != 35 || st.LocalBytes != 30 || st.Flows != 4 {
+		t.Fatalf("stat = %+v", st)
+	}
+	if st.ByClass["inter-app"] != 50 || st.ByClass["control"] != 10 {
+		t.Fatalf("ByClass = %+v", st.ByClass)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	flows := []cluster.Flow{
 		{Phase: "b", Src: 0, Dst: 1, Bytes: 10},

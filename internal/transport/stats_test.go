@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/obs"
 )
 
 // TestMediumCountersTrackReads: the fabric's atomic per-medium counters
@@ -80,5 +81,85 @@ func TestMediumCountersConcurrent(t *testing.T) {
 	rec := mt.Bytes(cluster.InterApp, cluster.SharedMemory) + mt.Bytes(cluster.InterApp, cluster.Network)
 	if rec != totalBytes {
 		t.Fatalf("metrics bytes %d != fabric bytes %d", rec, totalBytes)
+	}
+}
+
+// TestResetMediumStatsRace: ResetMediumStats must be safe to call while
+// other cores are mid-record (run under -race). The fabric counters are
+// resettable, but the obs registry mirrors are monotonic — a concurrent
+// reset must never make the registry lose increments.
+func TestResetMediumStatsRace(t *testing.T) {
+	prev := obs.Enabled()
+	obs.Enable(true)
+	t.Cleanup(func() { obs.Enable(prev) })
+
+	m, _ := cluster.NewMachine(4, 4)
+	f := NewFabric(m)
+	owner := f.Endpoint(0)
+	if err := owner.Expose(BufKey{Name: "b", Version: 0}, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	meter := Meter{Phase: "t", Class: cluster.InterApp, DstApp: 1}
+	baseBytes := obsBytes[cluster.SharedMemory].Value() + obsBytes[cluster.Network].Value()
+	baseOps := obsOps[cluster.SharedMemory].Value() + obsOps[cluster.Network].Value()
+
+	const readers = 8
+	const perReader = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.ResetMediumStats()
+			}
+		}
+	}()
+	var readersWG sync.WaitGroup
+	for r := 1; r <= readers; r++ {
+		readersWG.Add(1)
+		go func(r int) {
+			defer readersWG.Done()
+			ep := f.Endpoint(cluster.CoreID(r))
+			for i := 0; i < perReader; i++ {
+				if err := ep.Read(0, BufKey{Name: "b", Version: 0}, meter, 10, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	readersWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Fabric counters may hold any prefix of the traffic depending on when
+	// the last reset landed, but never more than the true total and never a
+	// torn/negative value.
+	for _, md := range []cluster.Medium{cluster.SharedMemory, cluster.Network} {
+		if b := f.MediumBytes(md); b < 0 || b > readers*perReader*10 {
+			t.Fatalf("%v bytes = %d out of range [0,%d]", md, b, readers*perReader*10)
+		}
+		if ops := f.MediumOps(md); ops < 0 || ops > readers*perReader {
+			t.Fatalf("%v ops = %d out of range [0,%d]", md, ops, readers*perReader)
+		}
+	}
+	// The registry mirrors are incremented at the same call site but are
+	// never reset by ResetMediumStats: the deltas must be exact.
+	gotBytes := obsBytes[cluster.SharedMemory].Value() + obsBytes[cluster.Network].Value() - baseBytes
+	gotOps := obsOps[cluster.SharedMemory].Value() + obsOps[cluster.Network].Value() - baseOps
+	if gotBytes != readers*perReader*10 {
+		t.Fatalf("registry bytes delta = %d, want %d", gotBytes, readers*perReader*10)
+	}
+	if gotOps != readers*perReader {
+		t.Fatalf("registry ops delta = %d, want %d", gotOps, readers*perReader)
+	}
+	f.ResetMediumStats()
+	if f.MediumBytes(cluster.SharedMemory) != 0 || f.MediumOps(cluster.Network) != 0 {
+		t.Fatal("counters survived final ResetMediumStats")
 	}
 }

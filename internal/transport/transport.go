@@ -20,6 +20,24 @@ import (
 	"time"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/obs"
+)
+
+// Registry instruments, indexed by cluster.Medium. The fabric's own
+// per-instance counters (MediumBytes/MediumOps) and these process-wide
+// counters are incremented at the same call site in record, so the obs
+// registry is the aggregate view of the same numbers — run reports
+// reconcile the two to detect instrumentation drift.
+var (
+	obsBytes = [2]*obs.Counter{
+		cluster.SharedMemory: obs.C("transport.shm.bytes"),
+		cluster.Network:      obs.C("transport.network.bytes"),
+	}
+	obsOps = [2]*obs.Counter{
+		cluster.SharedMemory: obs.C("transport.shm.ops"),
+		cluster.Network:      obs.C("transport.network.ops"),
+	}
+	obsTransferBytes = obs.H("transport.transfer_bytes", obs.DefaultSizeBounds())
 )
 
 // Meter carries the classification under which a transfer is recorded.
@@ -114,6 +132,9 @@ func (f *Fabric) record(m Meter, src, dst cluster.CoreID, n int64) {
 	md := f.medium(src, dst)
 	f.stats[md].bytes.Add(n)
 	f.stats[md].ops.Add(1)
+	obsBytes[md].Add(n)
+	obsOps[md].Inc()
+	obsTransferBytes.Observe(n)
 	f.machine.Metrics().Record(m.Phase, m.Class, md, m.DstApp,
 		f.machine.NodeOf(src), f.machine.NodeOf(dst), n)
 }
