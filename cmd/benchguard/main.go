@@ -1,14 +1,20 @@
-// Command benchguard asserts that the observability instrumentation stays
-// within its overhead budget on the parallel pull path.
+// Command benchguard asserts that the observability instrumentation and
+// the transfer retry layer stay within their overhead budgets on the
+// parallel pull path.
 //
 // It stages the same rig as cmd/pullbench (round-robin block placement,
 // simulated one-sided read latencies) and times full-domain retrievals
-// twice in-process: once with the metrics registry disabled and once
-// enabled. The enabled median must stay within -threshold (default 5%) of
-// the disabled one, or the process exits 1. Comparing the two runs inside
-// one process makes the guard robust in CI: machine speed, scheduler noise
-// and turbo states cancel out, and the simulated transfer latencies
-// dominate both sides equally.
+// in-process, alternating disabled and enabled batches of each toggle:
+// the metrics registry, and — independently — the transfer retry policy
+// on a fault-free fabric. The overhead estimate is the median of the
+// per-pair duration differences relative to the median disabled batch;
+// the process exits 1 when it exceeds -threshold (default 5%) AND a
+// supermajority of pairs agree the enabled batch was slower (a paired
+// sign test). Pairing adjacent batches inside one process makes the
+// guard robust in CI: machine drift cancels within each pair, the median
+// discards heavy-tailed scheduler outliers, and the sign test keeps
+// residual jitter — which flips each pair like a coin — from tripping
+// the gate, while a real regression slows nearly every pair.
 //
 // A committed pullbench baseline (-baseline, default
 // results/BENCH_pull.json) is compared informationally only — absolute
@@ -29,6 +35,7 @@ import (
 	"github.com/insitu/cods/internal/cods"
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
 )
 
@@ -44,7 +51,7 @@ const (
 
 // buildRig mirrors cmd/pullbench's staging: a grid of blocks placed
 // round-robin so adjacent blocks always live on different cores.
-func buildRig() (*cods.Handle, geometry.BBox, error) {
+func buildRig() (*cods.Space, *cods.Handle, geometry.BBox, error) {
 	nx := 1
 	for nx*nx < transfers {
 		nx *= 2
@@ -52,13 +59,13 @@ func buildRig() (*cods.Handle, geometry.BBox, error) {
 	ny := transfers / nx
 	m, err := cluster.NewMachine(nodes, coresPerNode)
 	if err != nil {
-		return nil, geometry.BBox{}, err
+		return nil, nil, geometry.BBox{}, err
 	}
 	f := transport.NewFabric(m)
 	region := geometry.BoxFromSize([]int{nx * side, ny * side})
 	sp, err := cods.NewSpace(f, region)
 	if err != nil {
-		return nil, geometry.BBox{}, err
+		return nil, nil, geometry.BBox{}, err
 	}
 	cores := m.TotalCores()
 	n := 0
@@ -73,32 +80,29 @@ func buildRig() (*cods.Handle, geometry.BBox, error) {
 			}
 			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
 			if err := h.PutSequential("u", 0, blk, data); err != nil {
-				return nil, geometry.BBox{}, err
+				return nil, nil, geometry.BBox{}, err
 			}
 			n++
 		}
 	}
 	f.SetReadLatency(shmLatency, netLatency)
 	sp.SetPullWorkers(workers)
-	return sp.HandleAt(0, 2, "get"), region, nil
+	return sp, sp.HandleAt(0, 2, "get"), region, nil
 }
 
-// medianPull times reps full-domain retrievals and returns the median.
-func medianPull(consumer *cods.Handle, region geometry.BBox, reps int) (time.Duration, error) {
-	// Warm the schedule cache so only pull execution is timed.
-	if _, err := consumer.GetSequential("u", 0, region); err != nil {
-		return 0, err
-	}
-	times := make([]time.Duration, 0, reps)
-	for i := 0; i < reps; i++ {
-		start := time.Now()
+// pullBatch is how many retrievals share one timing measurement: batching
+// averages out per-sleep timer jitter inside the simulated read latency.
+const pullBatch = 4
+
+// timedPulls times a batch of full-domain retrievals.
+func timedPulls(consumer *cods.Handle, region geometry.BBox) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < pullBatch; i++ {
 		if _, err := consumer.GetSequential("u", 0, region); err != nil {
 			return 0, err
 		}
-		times = append(times, time.Since(start))
 	}
-	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[len(times)/2], nil
+	return time.Since(start), nil
 }
 
 // baselineRow is the slice of the pullbench report the guard reads.
@@ -127,57 +131,123 @@ func loadBaseline(path string) (int64, bool) {
 	return 0, false
 }
 
+// pairedOverhead alternates disabled and enabled batches of one toggle
+// and estimates the enabled mode's relative overhead as the median of the
+// per-pair duration differences over the median disabled duration, plus
+// the fraction of pairs in which the enabled batch was the slower one.
+// Adjacent batches see the same machine drift, so each pair cancels it;
+// the order within a pair flips every repetition so neither mode
+// systematically runs on a warmer machine; and the median discards the
+// heavy-tailed scheduler outliers that make single-batch comparisons
+// swing far more than a real overhead budget.
+func pairedOverhead(consumer *cods.Handle, region geometry.BBox, reps int, set func(on bool)) (off time.Duration, overhead, slowerFrac float64, err error) {
+	// Warm the schedule cache so only pull execution is timed.
+	set(false)
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return 0, 0, 0, err
+	}
+	mode := func(on bool) (time.Duration, error) {
+		set(on)
+		d, err := timedPulls(consumer, region)
+		set(false)
+		return d, err
+	}
+	offs := make([]time.Duration, 0, reps)
+	diffs := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		first := i%2 == 1 // odd reps run the enabled batch first
+		dA, err := mode(first)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dB, err := mode(!first)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		dOff, dOn := dA, dB
+		if first {
+			dOff, dOn = dB, dA
+		}
+		offs = append(offs, dOff)
+		diffs = append(diffs, dOn-dOff)
+	}
+	slower := 0
+	for _, d := range diffs {
+		if d > 0 {
+			slower++
+		}
+	}
+	off = median(offs)
+	return off, float64(median(diffs)) / float64(off), float64(slower) / float64(len(diffs)), nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
 func run(baseline string, reps int, threshold float64) error {
-	consumer, region, err := buildRig()
+	sp, consumer, region, err := buildRig()
 	if err != nil {
 		return err
 	}
 
-	// Interleave disabled / enabled / disabled and keep the better disabled
-	// median, so one-sided machine drift cannot fake a regression.
+	// Guard 1: observability instrumentation on the fault-free pull path.
 	obs.Enable(false)
-	offA, err := medianPull(consumer, region, reps)
+	off, overhead, slowObs, err := pairedOverhead(consumer, region, reps, obs.Enable)
 	if err != nil {
 		return err
 	}
-	obs.Enable(true)
-	on, err := medianPull(consumer, region, reps)
-	obs.Enable(false)
-	if err != nil {
-		return err
-	}
-	offB, err := medianPull(consumer, region, reps)
-	if err != nil {
-		return err
-	}
-	off := offA
-	if offB < off {
-		off = offB
-	}
+	fmt.Printf("pull %d transfers, %d workers: disabled %.3f ms/op, obs overhead %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		transfers, workers, float64(off.Nanoseconds())/1e6/pullBatch,
+		100*overhead, 100*slowObs, 100*threshold)
 
-	overhead := float64(on-off) / float64(off)
-	fmt.Printf("pull %d transfers, %d workers: disabled %.3f ms, enabled %.3f ms, overhead %+.2f%% (budget %.0f%%)\n",
-		transfers, workers, float64(off.Nanoseconds())/1e6, float64(on.Nanoseconds())/1e6,
-		100*overhead, 100*threshold)
+	// Guard 2: the transfer retry layer on a fault-free fabric. An enabled
+	// policy only adds the retry.Do bookkeeping per transfer — no fault
+	// fires, so no backoff is ever slept.
+	pol := retry.Default()
+	_, retryOverhead, slowRetry, err := pairedOverhead(consumer, region, reps, func(enable bool) {
+		if enable {
+			sp.SetRetryPolicy(pol)
+		} else {
+			sp.SetRetryPolicy(retry.Policy{})
+		}
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pull %d transfers, %d workers: retry overhead %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		transfers, workers, 100*retryOverhead, 100*slowRetry, 100*threshold)
 
 	if base, ok := loadBaseline(baseline); ok {
-		drift := float64(off.Nanoseconds()-base) / float64(base)
+		drift := float64(off.Nanoseconds()/pullBatch-base) / float64(base)
 		fmt.Printf("committed baseline %s: %.3f ms (%+.2f%% vs this machine; informational only)\n",
 			baseline, float64(base)/1e6, 100*drift)
 	} else {
 		fmt.Printf("no usable baseline at %s (informational only)\n", baseline)
 	}
 
-	if overhead > threshold {
-		return fmt.Errorf("instrumentation overhead %.2f%% exceeds budget %.0f%%",
-			100*overhead, 100*threshold)
+	// A genuine regression makes nearly every pair slower; pure timing
+	// noise leaves the sign of each pair at a coin flip. Requiring a
+	// supermajority of slower pairs (a paired sign test) on top of the
+	// budget keeps the gate's false-positive rate under a percent even on
+	// machines whose scheduler jitter dwarfs the budget itself.
+	const signBar = 0.7
+	if overhead > threshold && slowObs >= signBar {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*overhead, 100*threshold, 100*slowObs)
+	}
+	if retryOverhead > threshold && slowRetry >= signBar {
+		return fmt.Errorf("retry-layer overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*retryOverhead, 100*threshold, 100*slowRetry)
 	}
 	return nil
 }
 
 func main() {
 	baseline := flag.String("baseline", filepath.Join("results", "BENCH_pull.json"), "pullbench report for the informational comparison")
-	reps := flag.Int("reps", 15, "timing repetitions per mode (median kept)")
+	reps := flag.Int("reps", 25, "paired timing repetitions (median pair difference kept)")
 	threshold := flag.Float64("threshold", 0.05, "maximum allowed relative overhead of enabled instrumentation")
 	flag.Parse()
 	if *reps < 1 {

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	cods "github.com/insitu/cods"
 	"github.com/insitu/cods/internal/apps"
@@ -49,6 +50,10 @@ type options struct {
 	spansPath        string
 	obsHTTP          string
 	appSpecs         []string
+	faultsPath       string
+	retrySpec        string
+	taskRetry        int
+	taskRemap        bool
 }
 
 func main() {
@@ -66,6 +71,11 @@ func main() {
 	flag.StringVar(&o.reportPath, "report-path", "results/report.json", "where -report writes the JSON report")
 	flag.StringVar(&o.spansPath, "spans", "", "write parent-linked span events as JSON Lines to this file")
 	flag.StringVar(&o.obsHTTP, "obs-http", "", "serve the metrics registry over HTTP on this address (e.g. :8970)")
+	flag.StringVar(&o.faultsPath, "faults", "", "JSON fault plan to inject into the fabric (see ParseFaultPlan)")
+	flag.StringVar(&o.retrySpec, "retry", "", "transfer retry policy: attempt count (e.g. 4) or "+
+		"attempts=4,base=200us,cap=50ms,jitter=0.2,deadline=5s")
+	flag.IntVar(&o.taskRetry, "task-retry", 0, "re-run a failed task up to this many attempts (0 disables)")
+	flag.BoolVar(&o.taskRemap, "task-remap", false, "remap retried tasks' data operations to a spare core")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-node task placement of every stage")
 	var appSpecs appFlags
 	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
@@ -89,6 +99,50 @@ func parseInts(spec, sep string) ([]int, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// parseRetrySpec builds a retry policy from the -retry flag: either a bare
+// attempt count (the default policy with that budget) or a comma-separated
+// key=value list of attempts, base, cap, multiplier, jitter and deadline.
+func parseRetrySpec(spec string) (cods.RetryPolicy, error) {
+	pol := cods.DefaultRetryPolicy()
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			return pol, fmt.Errorf("-retry attempts %d < 1", n)
+		}
+		pol.MaxAttempts = n
+		return pol, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return pol, fmt.Errorf("bad -retry element %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "attempts":
+			pol.MaxAttempts, err = strconv.Atoi(v)
+		case "base":
+			pol.BaseDelay, err = time.ParseDuration(v)
+		case "cap":
+			pol.MaxDelay, err = time.ParseDuration(v)
+		case "multiplier":
+			pol.Multiplier, err = strconv.ParseFloat(v, 64)
+		case "jitter":
+			pol.Jitter, err = strconv.ParseFloat(v, 64)
+		case "deadline":
+			pol.Deadline, err = time.ParseDuration(v)
+		default:
+			return pol, fmt.Errorf("unknown -retry key %q", k)
+		}
+		if err != nil {
+			return pol, fmt.Errorf("bad -retry value %q for %s: %v", v, k, err)
+		}
+	}
+	if pol.MaxAttempts < 1 {
+		return pol, fmt.Errorf("-retry attempts %d < 1", pol.MaxAttempts)
+	}
+	return pol, nil
 }
 
 func run(o options) error {
@@ -125,6 +179,35 @@ func run(o options) error {
 	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain})
 	if err != nil {
 		return err
+	}
+
+	// Fault injection and recovery knobs.
+	var plan *cods.FaultPlan
+	if o.faultsPath != "" {
+		data, err := os.ReadFile(o.faultsPath)
+		if err != nil {
+			return err
+		}
+		plan, err = cods.ParseFaultPlan(data)
+		if err != nil {
+			return err
+		}
+		fw.SetFaultPlan(plan)
+		fmt.Printf("fault plan %s installed\n", o.faultsPath)
+	}
+	if o.retrySpec != "" {
+		pol, err := parseRetrySpec(o.retrySpec)
+		if err != nil {
+			return err
+		}
+		fw.SetRetryPolicy(pol)
+	}
+	if o.taskRetry > 0 {
+		pol := cods.DefaultRetryPolicy()
+		pol.MaxAttempts = o.taskRetry
+		fw.SetTaskRetry(cods.TaskRetryPolicy{Policy: pol, Remap: o.taskRemap})
+	} else if o.taskRemap {
+		return fmt.Errorf("-task-remap needs -task-retry > 0")
 	}
 
 	// Observability: the registry costs one atomic load per hot-path probe
@@ -251,6 +334,10 @@ func run(o options) error {
 	}
 	fmt.Printf("\nworkflow complete: %d bundles, %d tasks, policy %s\n",
 		rep.BundlesRun, rep.TasksRun, rep.Policy)
+	if plan != nil {
+		fmt.Printf("faults: %d errors + %d delays injected; task attempts %d (retries %d, recoveries %d)\n",
+			plan.Injected(), plan.Delayed(), rep.TaskAttempts, rep.TaskRetries, rep.TaskRecoveries)
+	}
 	if o.verbose {
 		printed := map[*cluster.Placement]bool{}
 		for _, id := range d.Apps {
@@ -309,11 +396,23 @@ func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report) e
 	r.SetMeta("platform", fmt.Sprintf("%d nodes x %d cores", o.nodes, o.cores))
 	r.SetMeta("bundles_run", strconv.Itoa(rep.BundlesRun))
 	r.SetMeta("tasks_run", strconv.Itoa(rep.TasksRun))
+	r.SetMeta("task_attempts", strconv.Itoa(rep.TaskAttempts))
+	r.SetMeta("task_retries", strconv.Itoa(rep.TaskRetries))
+	r.SetMeta("task_recoveries", strconv.Itoa(rep.TaskRecoveries))
+	r.SetMeta("faults_injected", strconv.FormatInt(rep.FaultsInjected, 10))
 	ms := fw.MediumStats()
 	r.AddCheck("transport.shm.bytes", r.Metrics.Counters["transport.shm.bytes"], ms.ShmBytes)
 	r.AddCheck("transport.shm.ops", r.Metrics.Counters["transport.shm.ops"], ms.ShmOps)
 	r.AddCheck("transport.network.bytes", r.Metrics.Counters["transport.network.bytes"], ms.NetworkBytes)
 	r.AddCheck("transport.network.ops", r.Metrics.Counters["transport.network.ops"], ms.NetworkOps)
+	// The per-operation fault counters must sum to the fabric's independent
+	// injected-fault total.
+	faultSum := int64(0)
+	for _, k := range []string{"transport.faults.send", "transport.faults.recv",
+		"transport.faults.read", "transport.faults.call"} {
+		faultSum += r.Metrics.Counters[k]
+	}
+	r.AddCheck("transport.faults.total", faultSum, fw.FaultsInjected())
 	// Per-application received bytes by medium (the paper's Figure 9/10
 	// breakdown), from the machine metrics rather than the registry.
 	for _, id := range d.Apps {

@@ -70,8 +70,8 @@ func TestRunReportReconciles(t *testing.T) {
 	if !r.Reconciled {
 		t.Fatalf("report not reconciled: %+v", r.Checks)
 	}
-	if len(r.Checks) != 4 {
-		t.Fatalf("got %d reconciliation checks, want 4", len(r.Checks))
+	if len(r.Checks) != 5 {
+		t.Fatalf("got %d reconciliation checks, want 5", len(r.Checks))
 	}
 	var moved int64
 	for _, c := range r.Checks {

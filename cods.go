@@ -51,8 +51,10 @@ import (
 	"github.com/insitu/cods/internal/lock"
 	"github.com/insitu/cods/internal/netsim"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/runtime"
 	"github.com/insitu/cods/internal/trace"
+	"github.com/insitu/cods/internal/transport"
 	"github.com/insitu/cods/internal/workflow"
 )
 
@@ -86,7 +88,46 @@ type (
 	// service (AppContext.Locks), for lock-on-write / lock-on-read
 	// coordination of shared variables.
 	LockClient = lock.Client
+	// FaultPlan is a compiled set of deterministic fault-injection rules
+	// for the transport fabric (see ParseFaultPlan).
+	FaultPlan = transport.FaultPlan
+	// RetryPolicy bounds retried fabric operations: attempt budget,
+	// exponential backoff with deterministic jitter, per-operation deadline.
+	RetryPolicy = retry.Policy
+	// TaskRetryPolicy extends RetryPolicy with task-level remapping; it
+	// governs the re-running of failed computation tasks.
+	TaskRetryPolicy = runtime.TaskRetryPolicy
+	// PullError reports a data retrieval whose transfer ultimately failed;
+	// it unwraps to the transport-level cause.
+	PullError = icods.PullError
+	// TaskError reports a computation task that failed all its attempts.
+	TaskError = runtime.TaskError
 )
+
+// Transport error sentinels, for errors.Is against failures surfacing from
+// the put/get operators and the workflow runtime.
+var (
+	// ErrInjected marks failures produced by the fault injector.
+	ErrInjected = transport.ErrInjected
+	// ErrEndpointClosed marks operations against a closed endpoint; the
+	// retry layers treat it as terminal.
+	ErrEndpointClosed = transport.ErrEndpointClosed
+)
+
+// DefaultRetryPolicy is the policy the command-line tools install when
+// retrying is requested without explicit tuning.
+func DefaultRetryPolicy() RetryPolicy { return retry.Default() }
+
+// ParseFaultPlan loads and validates a deterministic fault plan from JSON:
+//
+//	{"seed": 42, "rules": [
+//	  {"op": "read", "mode": "error", "prob": 0.05, "max": 40},
+//	  {"op": "send", "medium": "shm", "mode": "delay", "delay_us": 50, "prob": 0.1}]}
+//
+// Malformed input returns an error, never a partially applied plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) {
+	return transport.ParseFaultPlan(data)
+}
 
 // Mapping policies.
 const (
@@ -310,3 +351,23 @@ func (f *Framework) SetSpanTrace(w io.Writer) {
 
 // FlushSpans flushes buffered span events to the SetSpanTrace writer.
 func (f *Framework) FlushSpans() error { return f.tracer.Flush() }
+
+// SetFaultPlan installs a deterministic fault plan on the transport fabric
+// (nil removes it). Every fabric operation consults the plan; with none
+// installed the only cost is one atomic pointer load per operation.
+func (f *Framework) SetFaultPlan(p *FaultPlan) { f.server.Fabric().SetFaultPlan(p) }
+
+// SetRetryPolicy installs the transfer retry policy on the CoDS pull
+// engine and the lookup service's RPC fan-out. The zero policy (the
+// default) disables retrying.
+func (f *Framework) SetRetryPolicy(p RetryPolicy) { f.server.Space().SetRetryPolicy(p) }
+
+// SetTaskRetry installs the task retry policy: a failed computation task
+// is re-run up to the policy's attempt budget and optionally remapped to a
+// spare core. The zero policy (the default) disables task retrying; see
+// TaskRetryPolicy for the restartability requirement on subroutines.
+func (f *Framework) SetTaskRetry(p TaskRetryPolicy) { f.server.SetTaskRetry(p) }
+
+// FaultsInjected returns the total number of error faults injected into
+// the fabric since the framework was created, across all installed plans.
+func (f *Framework) FaultsInjected() int64 { return f.server.Fabric().FaultsInjected() }

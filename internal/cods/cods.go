@@ -24,6 +24,7 @@
 package cods
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"github.com/insitu/cods/internal/dht"
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
 )
@@ -53,6 +55,10 @@ var (
 	obsPullBytes      = obs.C("cods.pull.bytes")
 	obsPullNs         = obs.H("cods.pull.ns", obs.DefaultLatencyBounds())
 	obsTransferNs     = obs.H("cods.pull.transfer_ns", obs.DefaultLatencyBounds())
+	obsPullRetries    = obs.C("cods.pull.retries")
+	obsPullRecoveries = obs.C("cods.pull.recoveries")
+	obsPullRequeries  = obs.C("cods.pull.requeries")
+	obsPullBackoffNs  = obs.H("cods.pull.backoff_ns", obs.DefaultLatencyBounds())
 )
 
 // ElemSize is the size of one domain cell in bytes (float64 fields).
@@ -94,6 +100,10 @@ type Space struct {
 	// tracer optionally receives pull spans; stored atomically so it can
 	// be attached while handles are live.
 	tracer atomic.Pointer[obs.Tracer]
+
+	// retryPol bounds the retrying of failed transfers (nil = single
+	// attempt). Stored atomically so it can be installed while pulls run.
+	retryPol atomic.Pointer[retry.Policy]
 }
 
 // NewSpace builds a CoDS over a fabric for a coupled data domain. The
@@ -120,6 +130,25 @@ func (sp *Space) SetPullWorkers(n int) { sp.pullWorkers.Store(int32(n)) }
 // "pull:<var>" span (parented under the task span when the runtime wired
 // one). nil detaches.
 func (sp *Space) SetTracer(tr *obs.Tracer) { sp.tracer.Store(tr) }
+
+// SetRetryPolicy installs the transfer retry policy: failed pulls are
+// retried with exponential backoff up to the policy's attempt budget, and
+// sequential gets whose owner turned out to be gone re-query the lookup
+// service for a restaged copy. The same policy governs the lookup
+// service's RPC fan-out. The zero policy (the default) disables retrying.
+func (sp *Space) SetRetryPolicy(p retry.Policy) {
+	sp.retryPol.Store(&p)
+	sp.lookup.SetRetryPolicy(p)
+}
+
+// RetryPolicy returns the installed transfer retry policy (zero when none
+// was set).
+func (sp *Space) RetryPolicy() retry.Policy {
+	if p := sp.retryPol.Load(); p != nil {
+		return *p
+	}
+	return retry.Policy{}
+}
 
 // PullWorkers returns the effective pull concurrency bound.
 func (sp *Space) PullWorkers() int {
@@ -424,9 +453,19 @@ func (h *Handle) PutSequential(v string, version int, region geometry.BBox, data
 	return cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
 }
 
+// maxRequeries bounds how many times a sequential get recomputes its
+// schedule from a fresh lookup query after the pull itself failed.
+const maxRequeries = 2
+
 // GetSequential retrieves the cells of region for a variable from the
 // space's distributed storage, using the lookup service to build the
 // communication schedule. The result is row-major over region.
+//
+// Under a retry policy, a pull that fails even after per-transfer retries
+// is treated as an owner-lookup failure: the cached schedule is dropped,
+// the lookup service is re-queried (the data may have been restaged at a
+// different owner since the schedule was computed) and the pull is re-run
+// against the fresh schedule, up to maxRequeries times.
 func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]float64, error) {
 	if region.Empty() {
 		return nil, fmt.Errorf("cods: empty get region for %q", v)
@@ -442,7 +481,31 @@ func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]f
 		}
 		h.storeSchedule(key, v, sched, epoch, gen)
 	}
-	return h.pull(v, version, region, sched)
+	out, err := h.pull(v, version, region, sched)
+	for requery := 0; err != nil && requery < maxRequeries; requery++ {
+		var pe *PullError
+		if !h.sp.RetryPolicy().Enabled() || !errors.As(err, &pe) {
+			break
+		}
+		obsPullRequeries.Inc()
+		if t := h.sp.tracer.Load(); t != nil {
+			t.Event(h.spanParent, "requery:"+v)
+		}
+		delete(h.schedCache, key)
+		epoch, gen := h.sp.scheduleStamp(v)
+		sched, serr := h.sequentialSchedule(v, version, region)
+		if serr != nil {
+			// The lookup has no full coverage either: the original pull
+			// failure is the more informative error.
+			return nil, err
+		}
+		h.storeSchedule(key, v, sched, epoch, gen)
+		out, err = h.pull(v, version, region, sched)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // sequentialSchedule queries the lookup service and converts the location
@@ -469,12 +532,60 @@ func (h *Handle) sequentialSchedule(v string, version int, region geometry.BBox)
 	return normalizeSchedule(sched), nil
 }
 
+// PullError reports the transfer of a schedule that ultimately failed:
+// which sub-box of which variable version could not be pulled from which
+// owner, and after how many attempts. It unwraps to the transport-level
+// cause, so errors.Is(err, transport.ErrEndpointClosed) and
+// errors.Is(err, transport.ErrInjected) keep working through it.
+type PullError struct {
+	// Var and Version name the data being retrieved.
+	Var     string
+	Version int
+	// Sub is the sub-box of the failed transfer; Owner the core it was
+	// pulled from.
+	Sub   geometry.BBox
+	Owner cluster.CoreID
+	// Attempts is the number of times the transfer was tried.
+	Attempts int
+	// Err is the underlying failure of the last attempt.
+	Err error
+}
+
+// Error formats the failure with the sub-box that ultimately failed.
+func (e *PullError) Error() string {
+	return fmt.Sprintf("cods: pulling %v of %q v%d from core %d failed after %d attempt(s): %v",
+		e.Sub, e.Var, e.Version, e.Owner, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying transport error.
+func (e *PullError) Unwrap() error { return e.Err }
+
+// retryableTransfer classifies transfer errors: a closed endpoint is
+// terminal (the owner will not come back), everything else — injected
+// faults included — is worth another attempt.
+func retryableTransfer(err error) bool {
+	return !errors.Is(err, transport.ErrEndpointClosed)
+}
+
+// transferSeed derives the deterministic jitter seed of one transfer from
+// its coordinates, so backoff schedules are reproducible run to run.
+func transferSeed(core cluster.CoreID, tr transfer, version int) uint64 {
+	s := uint64(core)<<32 ^ uint64(uint32(tr.Owner))<<16 ^ uint64(uint32(version))
+	for _, x := range tr.Sub.Min {
+		s = s*0x100000001b3 + uint64(uint32(x))
+	}
+	return s
+}
+
 // pull executes a schedule: a receiver-driven pull of every piece,
 // assembling the row-major result. Transfers are issued by a bounded pool
 // of workers (Space.SetPullWorkers, default GOMAXPROCS); since schedule
 // sub-boxes are disjoint, each worker assembles into its own disjoint
 // cells of the output without locking, so the result is byte-identical to
-// the serial path regardless of completion order.
+// the serial path regardless of completion order — and regardless of how
+// many times an individual transfer was retried, since a failed attempt
+// errors before the payload copy and a repeated copy writes the same
+// cells.
 func (h *Handle) pull(v string, version int, region geometry.BBox, sched []transfer) ([]float64, error) {
 	if obs.Enabled() {
 		start := time.Now()
@@ -488,13 +599,14 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 	}
 	out := make([]float64, region.Volume())
 	m := h.meter()
+	pol := h.sp.RetryPolicy()
 	workers := h.sp.PullWorkers()
 	if workers > len(sched) {
 		workers = len(sched)
 	}
 	if workers <= 1 {
 		for _, tr := range sched {
-			if err := h.pullOne(out, region, v, version, tr, m); err != nil {
+			if err := h.pullOne(out, region, v, version, tr, m, pol); err != nil {
 				return nil, err
 			}
 		}
@@ -516,7 +628,7 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 				if i >= len(sched) {
 					return
 				}
-				if err := h.pullOne(out, region, v, version, sched[i], m); err != nil {
+				if err := h.pullOne(out, region, v, version, sched[i], m, pol); err != nil {
 					errOnce.Do(func() { pullErr = err })
 					stop.Store(true)
 					return
@@ -532,26 +644,48 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 }
 
 // pullOne performs one receiver-driven transfer of a schedule, copying the
-// pulled cells into their slot of the output buffer.
-func (h *Handle) pullOne(out []float64, region geometry.BBox, v string, version int, tr transfer, m transport.Meter) error {
-	var start time.Time
-	if obs.Enabled() {
-		start = time.Now()
-	}
-	err := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
-		tr.Sub.Volume()*ElemSize, func(payload any) {
-			obj := payload.(*StoredObject)
-			copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
+// pulled cells into their slot of the output buffer. Under a retry policy
+// a failed transfer is re-attempted with exponential backoff until the
+// attempt budget or per-operation deadline runs out; a closed owner
+// endpoint stops the attempts immediately. The ultimate failure is a
+// *PullError naming the sub-box.
+func (h *Handle) pullOne(out []float64, region geometry.BBox, v string, version int, tr transfer, m transport.Meter, pol retry.Policy) error {
+	attempts, err := retry.Do(pol, transferSeed(h.core, tr, version), retryableTransfer,
+		func(d time.Duration) { obsPullBackoffNs.Observe(d.Nanoseconds()) },
+		func(attempt int) error {
+			if attempt > 1 {
+				obsPullRetries.Inc()
+				if t := h.sp.tracer.Load(); t != nil {
+					t.Event(h.spanParent, "retry:pull:"+v)
+				}
+			}
+			var start time.Time
+			if obs.Enabled() {
+				start = time.Now()
+			}
+			rerr := h.endpoint().Read(tr.Owner, bufKey(v, tr.StoredBox, version), m,
+				tr.Sub.Volume()*ElemSize, func(payload any) {
+					obj := payload.(*StoredObject)
+					copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
+				})
+			if !start.IsZero() {
+				// Includes the blocking wait for the producer's Expose and
+				// any simulated read latency: it is the consumer-observed
+				// transfer latency, the quantity the pull worker pool
+				// overlaps.
+				obsTransferNs.Observe(time.Since(start).Nanoseconds())
+			}
+			return rerr
 		})
-	if !start.IsZero() {
-		// Includes the blocking wait for the producer's Expose and any
-		// simulated read latency: it is the consumer-observed transfer
-		// latency, the quantity the pull worker pool overlaps.
-		obsTransferNs.Observe(time.Since(start).Nanoseconds())
-	}
 	if err != nil {
-		return fmt.Errorf("cods: pulling %v of %q v%d from core %d: %w",
-			tr.Sub, v, version, tr.Owner, err)
+		return &PullError{Var: v, Version: version, Sub: tr.Sub, Owner: tr.Owner,
+			Attempts: attempts, Err: err}
+	}
+	if attempts > 1 {
+		obsPullRecoveries.Inc()
+		if t := h.sp.tracer.Load(); t != nil {
+			t.Event(h.spanParent, "recovered:pull:"+v)
+		}
 	}
 	return nil
 }

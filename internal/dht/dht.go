@@ -13,14 +13,17 @@
 package dht
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
 )
@@ -39,6 +42,9 @@ var (
 	obsShardReads  = obs.C("dht.table.shard_reads")
 	obsShardWrites = obs.C("dht.table.shard_writes")
 	obsShardOps    = shardOpCounters()
+	obsRetries     = obs.C("dht.retry.attempts")
+	obsRecoveries  = obs.C("dht.retry.recoveries")
+	obsBackoffNs   = obs.H("dht.retry.backoff_ns", obs.DefaultLatencyBounds())
 )
 
 func shardOpCounters() [tableShards]*obs.Counter {
@@ -134,6 +140,11 @@ type Service struct {
 	tables []*table // per node
 	chunk  uint64
 	rem    uint64
+
+	// retryPol bounds the retrying of control RPCs against DHT cores
+	// (nil = single attempt). Stored atomically so the policy can be
+	// installed while clients are live.
+	retryPol atomic.Pointer[retry.Policy]
 }
 
 // NewService creates the lookup service for a fabric and registers the DHT
@@ -162,6 +173,56 @@ func NewService(f *transport.Fabric, curve sfc.Linearizer) *Service {
 
 // Curve returns the linearizer the service uses.
 func (s *Service) Curve() sfc.Linearizer { return s.curve }
+
+// SetRetryPolicy installs the retry policy for control RPCs: inserts,
+// removes and query fan-out calls that fail transiently are re-attempted
+// with backoff. The zero policy disables retrying (the default).
+func (s *Service) SetRetryPolicy(p retry.Policy) { s.retryPol.Store(&p) }
+
+// retryPolicy returns the installed policy (zero when none).
+func (s *Service) retryPolicy() retry.Policy {
+	if p := s.retryPol.Load(); p != nil {
+		return *p
+	}
+	return retry.Policy{}
+}
+
+// retryableRPC classifies control-RPC failures: a closed DHT core is
+// terminal, everything else (injected faults in particular) is transient.
+func retryableRPC(err error) bool {
+	return !errors.Is(err, transport.ErrEndpointClosed)
+}
+
+// call performs one control RPC under the service's retry policy.
+func (cl *Client) call(node int, req any, m transport.Meter, reqBytes, respBytes int64, seed uint64) (any, error) {
+	pol := cl.svc.retryPolicy()
+	attempts, resp, err := doCall(pol, seed, func() (any, error) {
+		return cl.ep.Call(cl.svc.DHTCore(node), serviceName, req, m, reqBytes, respBytes)
+	})
+	if attempts > 1 {
+		obsRetries.Add(int64(attempts - 1))
+		if err == nil {
+			obsRecoveries.Inc()
+		}
+	}
+	return resp, err
+}
+
+// doCall adapts retry.Do to an operation with a result.
+func doCall(pol retry.Policy, seed uint64, op func() (any, error)) (int, any, error) {
+	var resp any
+	attempts, err := retry.Do(pol, seed, retryableRPC,
+		func(d time.Duration) { obsBackoffNs.Observe(d.Nanoseconds()) },
+		func(int) error {
+			var cerr error
+			resp, cerr = op()
+			return cerr
+		})
+	if err != nil {
+		return attempts, nil, err
+	}
+	return attempts, resp, nil
+}
 
 // intervalOf returns the index interval [lo, hi) owned by a node.
 func (s *Service) intervalOf(node int) (uint64, uint64) {
@@ -295,12 +356,17 @@ func (cl *Client) Insert(phase string, app int, e Entry) error {
 	obsInsertOps.Inc()
 	size := entrySize(e)
 	for _, node := range nodes {
-		if _, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, insertReq{Entry: e},
-			controlMeter(phase, app), size, 8); err != nil {
+		if _, err := cl.call(node, insertReq{Entry: e},
+			controlMeter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 1)); err != nil {
 			return fmt.Errorf("dht: insert on node %d: %w", node, err)
 		}
 	}
 	return nil
+}
+
+// rpcSeed derives the deterministic jitter seed of one control RPC.
+func rpcSeed(core cluster.CoreID, node, op int) uint64 {
+	return uint64(core)<<24 ^ uint64(uint32(node))<<8 ^ uint64(uint32(op))
 }
 
 // Remove withdraws a location record from every DHT core responsible for
@@ -312,8 +378,8 @@ func (cl *Client) Remove(phase string, app int, e Entry) error {
 	obsRemoveOps.Inc()
 	size := entrySize(e)
 	for _, node := range cl.svc.nodesForRegion(e.Region) {
-		if _, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, removeReq{Entry: e},
-			controlMeter(phase, app), size, 8); err != nil {
+		if _, err := cl.call(node, removeReq{Entry: e},
+			controlMeter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 2)); err != nil {
 			return fmt.Errorf("dht: remove on node %d: %w", node, err)
 		}
 	}
@@ -344,8 +410,8 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 	results := make([][]Entry, len(nodes))
 	errs := make([]error, len(nodes))
 	if len(nodes) == 1 {
-		resp, err := cl.ep.Call(cl.svc.DHTCore(nodes[0]), serviceName, req,
-			controlMeter(phase, app), reqSize, 8)
+		resp, err := cl.call(nodes[0], req, controlMeter(phase, app), reqSize, 8,
+			rpcSeed(cl.ep.Core(), nodes[0], 3))
 		if err != nil {
 			errs[0] = err
 		} else {
@@ -357,8 +423,8 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 			wg.Add(1)
 			go func(i, node int) {
 				defer wg.Done()
-				resp, err := cl.ep.Call(cl.svc.DHTCore(node), serviceName, req,
-					controlMeter(phase, app), reqSize, 8)
+				resp, err := cl.call(node, req, controlMeter(phase, app), reqSize, 8,
+					rpcSeed(cl.ep.Core(), node, 3))
 				if err != nil {
 					errs[i] = err
 					return

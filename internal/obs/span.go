@@ -25,7 +25,8 @@ type SpanID uint64
 
 // SpanEvent is the serialized form of one tracer event.
 type SpanEvent struct {
-	// Ev discriminates the event kind: "b" for begin, "e" for end.
+	// Ev discriminates the event kind: "b" for begin, "e" for end, "i"
+	// for an instantaneous event (retries, injected faults, recoveries).
 	Ev string `json:"ev"`
 	// ID is the span's identifier, unique per tracer.
 	ID SpanID `json:"id"`
@@ -94,6 +95,17 @@ func (s Span) End() {
 		T:    now.Sub(s.tr.start).Nanoseconds(),
 		Dur:  now.Sub(s.begin).Nanoseconds(),
 	})
+}
+
+// Event emits an instantaneous event under parent (ev "i"): a named point
+// in time with no duration, used for retries, injected faults and
+// recoveries. Safe on a nil tracer.
+func (t *Tracer) Event(parent SpanID, name string) {
+	if t == nil {
+		return
+	}
+	id := SpanID(t.nextID.Add(1))
+	t.emit(SpanEvent{Ev: "i", ID: id, Parent: parent, Name: name, T: time.Since(t.start).Nanoseconds()})
 }
 
 // emit serializes one event; the first write error sticks and is returned

@@ -48,8 +48,34 @@ func TestNilTracerNoops(t *testing.T) {
 	if sp.ID() != 0 {
 		t.Fatal("nil tracer handed out an id")
 	}
+	tr.Event(0, "retry:pull:u")
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTracerInstantEvent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start(0, "pull:u")
+	tr.Event(root.ID(), "retry:pull:u")
+	root.End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3", len(evs))
+	}
+	ev := evs[1]
+	if ev.Ev != "i" || ev.Name != "retry:pull:u" || ev.Parent != evs[0].ID || ev.Dur != 0 {
+		t.Fatalf("instant event = %+v", ev)
+	}
+	if ev.ID == evs[0].ID {
+		t.Fatalf("instant event reused span id %d", ev.ID)
 	}
 }
 

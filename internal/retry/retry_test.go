@@ -1,0 +1,149 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Policy
+		attempt int
+		want    time.Duration
+	}{
+		{"zero policy", Policy{}, 1, 0},
+		{"attempt zero", Policy{BaseDelay: time.Millisecond}, 0, 0},
+		{"first backoff is base", Policy{BaseDelay: time.Millisecond, Multiplier: 2}, 1, time.Millisecond},
+		{"doubles per attempt", Policy{BaseDelay: time.Millisecond, Multiplier: 2}, 3, 4 * time.Millisecond},
+		{"triples per attempt", Policy{BaseDelay: time.Millisecond, Multiplier: 3}, 3, 9 * time.Millisecond},
+		{"default multiplier is 2", Policy{BaseDelay: time.Millisecond}, 2, 2 * time.Millisecond},
+		{"sub-1 multiplier treated as 2", Policy{BaseDelay: time.Millisecond, Multiplier: 0.5}, 2, 2 * time.Millisecond},
+		{"cap applies", Policy{BaseDelay: time.Millisecond, Multiplier: 2, MaxDelay: 5 * time.Millisecond}, 4, 5 * time.Millisecond},
+		{"cap on deep attempt", Policy{BaseDelay: time.Millisecond, Multiplier: 2, MaxDelay: 5 * time.Millisecond}, 60, 5 * time.Millisecond},
+		{"cap above growth is inert", Policy{BaseDelay: time.Millisecond, Multiplier: 2, MaxDelay: time.Minute}, 3, 4 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Backoff(tc.attempt, 7); got != tc.want {
+				t.Fatalf("Backoff(%d) = %v, want %v", tc.attempt, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	for attempt := 1; attempt <= 8; attempt++ {
+		base := Policy{BaseDelay: p.BaseDelay, Multiplier: p.Multiplier}.Backoff(attempt, 0)
+		lo := time.Duration(float64(base) * 0.5)
+		for seed := uint64(0); seed < 64; seed++ {
+			d := p.Backoff(attempt, seed)
+			if d < lo || d >= base {
+				t.Fatalf("attempt %d seed %d: jittered %v outside [%v, %v)", attempt, seed, d, lo, base)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, Multiplier: 2, Jitter: 0.3}
+	for attempt := 1; attempt <= 5; attempt++ {
+		a := p.Backoff(attempt, 42)
+		b := p.Backoff(attempt, 42)
+		if a != b {
+			t.Fatalf("attempt %d: same seed gave %v then %v", attempt, a, b)
+		}
+	}
+	// Different seeds must actually spread (not all collapse to one point).
+	seen := map[time.Duration]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		seen[p.Backoff(1, seed)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced a single value across 32 seeds")
+	}
+}
+
+func TestBackoffJitterClamped(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, Jitter: 3}
+	d := p.Backoff(1, 9)
+	if d < 0 || d >= time.Millisecond {
+		t.Fatalf("over-unity jitter gave %v, want [0, 1ms)", d)
+	}
+}
+
+func TestDoStopsAtMaxAttempts(t *testing.T) {
+	fail := errors.New("transient")
+	calls := 0
+	attempts, err := Do(Policy{MaxAttempts: 3}, 1, nil, nil, func(int) error {
+		calls++
+		return fail
+	})
+	if attempts != 3 || calls != 3 || !errors.Is(err, fail) {
+		t.Fatalf("attempts=%d calls=%d err=%v, want 3/3/transient", attempts, calls, err)
+	}
+}
+
+func TestDoSucceedsMidway(t *testing.T) {
+	calls := 0
+	attempts, err := Do(Policy{MaxAttempts: 5}, 1, nil, nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if attempts != 3 || err != nil {
+		t.Fatalf("attempts=%d err=%v, want 3/nil", attempts, err)
+	}
+}
+
+func TestDoRespectsNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	attempts, err := Do(Policy{MaxAttempts: 5}, 1,
+		func(err error) bool { return !errors.Is(err, fatal) }, nil,
+		func(int) error { return fatal })
+	if attempts != 1 || !errors.Is(err, fatal) {
+		t.Fatalf("attempts=%d err=%v, want 1/fatal", attempts, err)
+	}
+}
+
+func TestDoDeadlineStopsBeforeSleep(t *testing.T) {
+	// The first backoff (10ms) already overshoots the 1ms deadline, so Do
+	// must give up after one attempt without sleeping.
+	p := Policy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, Deadline: time.Millisecond}
+	start := time.Now()
+	attempts, err := Do(p, 1, nil, nil, func(int) error { return errors.New("transient") })
+	if attempts != 1 || err == nil {
+		t.Fatalf("attempts=%d err=%v, want 1/non-nil", attempts, err)
+	}
+	if el := time.Since(start); el > 5*time.Millisecond {
+		t.Fatalf("Do slept %v despite deadline", el)
+	}
+}
+
+func TestDoZeroPolicySingleAttempt(t *testing.T) {
+	calls := 0
+	attempts, err := Do(Policy{}, 1, nil, nil, func(int) error { calls++; return errors.New("x") })
+	if attempts != 1 || calls != 1 || err == nil {
+		t.Fatalf("zero policy: attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+	if (Policy{}).Enabled() {
+		t.Fatalf("zero policy reports Enabled")
+	}
+	if !Default().Enabled() {
+		t.Fatalf("Default policy reports disabled")
+	}
+}
+
+func TestDoReportsSleeps(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Multiplier: 2}
+	_, _ = Do(p, 1, nil, func(d time.Duration) { slept = append(slept, d) },
+		func(int) error { return errors.New("transient") })
+	if len(slept) != 2 || slept[0] != 100*time.Microsecond || slept[1] != 200*time.Microsecond {
+		t.Fatalf("slept = %v, want [100µs 200µs]", slept)
+	}
+}

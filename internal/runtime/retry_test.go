@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/retry"
+	"github.com/insitu/cods/internal/workflow"
+)
+
+// fastRetry is a task retry policy with negligible backoff, so tests stay
+// quick.
+func fastRetry(attempts int) TaskRetryPolicy {
+	return TaskRetryPolicy{Policy: retry.Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Multiplier:  2,
+	}}
+}
+
+// flakiness counts subroutine invocations per rank and fails the first
+// failuresPer of them.
+type flakiness struct {
+	mu          sync.Mutex
+	calls       map[int]int
+	failuresPer int
+}
+
+func (f *flakiness) run(ctx *AppContext) error {
+	f.mu.Lock()
+	f.calls[ctx.Rank]++
+	n := f.calls[ctx.Rank]
+	f.mu.Unlock()
+	if n <= f.failuresPer {
+		return fmt.Errorf("transient glitch %d", n)
+	}
+	return nil
+}
+
+func TestTaskRetryRecoversFlakyApp(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	s.SetTaskRetry(fastRetry(3))
+	fl := &flakiness{calls: map[int]int{}, failuresPer: 2}
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{2, 1}),
+		Run: fl.run,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	rep, err := s.Run(d, DataCentric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TasksRun != 2 {
+		t.Fatalf("TasksRun = %d", rep.TasksRun)
+	}
+	// Each of the 2 tasks fails twice, then succeeds on attempt 3.
+	if rep.TaskAttempts != 6 || rep.TaskRetries != 4 || rep.TaskRecoveries != 2 {
+		t.Fatalf("attempts/retries/recoveries = %d/%d/%d, want 6/4/2",
+			rep.TaskAttempts, rep.TaskRetries, rep.TaskRecoveries)
+	}
+}
+
+func TestTaskRetryDisabledByDefault(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	fl := &flakiness{calls: map[int]int{}, failuresPer: 1}
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: fl.run,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	_, err := s.Run(d, DataCentric)
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TaskError", err)
+	}
+	if te.Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1 (no policy installed)", te.Attempts)
+	}
+}
+
+func TestTaskErrorContract(t *testing.T) {
+	boom := errors.New("boom")
+	te := &TaskError{
+		Task:     cluster.TaskID{App: 3, Rank: 5},
+		Core:     7,
+		Attempts: 4,
+		Err:      fmt.Errorf("wrapped: %w", boom),
+	}
+	if !errors.Is(te, boom) {
+		t.Fatal("errors.Is does not reach the cause through TaskError")
+	}
+	var got *TaskError
+	if !errors.As(error(te), &got) || got.Task.App != 3 || got.Attempts != 4 {
+		t.Fatalf("errors.As round-trip = %+v", got)
+	}
+	msg := te.Error()
+	for _, want := range []string{"3.5", "core 7", "4 attempt(s)", "boom"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+func TestTaskRetryBudgetExhausted(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	s.SetTaskRetry(fastRetry(3))
+	boom := errors.New("boom")
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: func(*AppContext) error { return boom },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	_, err := s.Run(d, DataCentric)
+	var te *TaskError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TaskError", err)
+	}
+	if te.Attempts != 3 {
+		t.Fatalf("Attempts = %d, want 3", te.Attempts)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("TaskError does not unwrap to the subroutine error")
+	}
+}
+
+func TestTaskRetryCapturesPanicPerAttempt(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	s.SetTaskRetry(fastRetry(3))
+	var mu sync.Mutex
+	calls := 0
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: func(*AppContext) error {
+			mu.Lock()
+			calls++
+			n := calls
+			mu.Unlock()
+			if n < 3 {
+				panic("kaboom")
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	rep, err := s.Run(d, DataCentric)
+	if err != nil {
+		t.Fatalf("panicking attempts not retried: %v", err)
+	}
+	if rep.TaskRecoveries != 1 || rep.TaskAttempts != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// A retried task with Remap enabled rebinds its data operations to a spare
+// idle core, so the CoDS handle cores seen across attempts differ.
+func TestTaskRetryRemapMovesHandle(t *testing.T) {
+	size := []int{4, 4}
+	s := newServer(t, 2, 2, size)
+	pol := fastRetry(2)
+	pol.Remap = true
+	s.SetTaskRetry(pol)
+	var mu sync.Mutex
+	var seen []cluster.CoreID
+	if err := s.RegisterApp(AppSpec{
+		ID: 1, Decomp: mustDecomp(t, decomp.Blocked, size, []int{1, 1}),
+		Run: func(ctx *AppContext) error {
+			mu.Lock()
+			seen = append(seen, ctx.Space.Core())
+			n := len(seen)
+			mu.Unlock()
+			if n == 1 {
+				return errors.New("first attempt fails")
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := workflow.New([]int{1}, nil, nil)
+	rep, err := s.Run(d, DataCentric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TaskRecoveries != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(seen))
+	}
+	if seen[0] == seen[1] {
+		t.Fatalf("remap kept the handle on core %d", seen[0])
+	}
+}

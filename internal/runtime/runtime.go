@@ -16,6 +16,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"github.com/insitu/cods/internal/mapping"
 	"github.com/insitu/cods/internal/mpi"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
 	"github.com/insitu/cods/internal/workflow"
 )
@@ -45,6 +47,10 @@ var (
 	obsBundlesRun  = obs.C("runtime.bundles_run")
 	obsTasksRun    = obs.C("runtime.tasks_run")
 	obsTasksActive = obs.G("runtime.tasks_active")
+	obsTaskRetries = obs.C("runtime.task.retries")
+	obsTaskRecovs  = obs.C("runtime.task.recoveries")
+	obsTaskRemaps  = obs.C("runtime.task.remaps")
+	obsTaskBackoff = obs.H("runtime.task.backoff_ns", obs.DefaultLatencyBounds())
 )
 
 // Policy selects the task mapping strategy for a run.
@@ -111,6 +117,46 @@ type AppSpec struct {
 	ReadsVersion int
 }
 
+// TaskRetryPolicy bounds the re-running of failed computation tasks. The
+// embedded retry.Policy supplies the attempt budget and the backoff slept
+// between attempts. Task retry assumes restartable subroutines: a
+// subroutine must tolerate being invoked again from the top (the put/get
+// operators are idempotent — re-exposing an existing buffer fails
+// harmlessly and re-inserting a location record is deduplicated — but a
+// subroutine blocked inside a collective with already-finished peers
+// cannot be saved by re-running it, so retries are opt-in).
+type TaskRetryPolicy struct {
+	retry.Policy
+	// Remap rebinds a retried task's data operations (its CoDS handle and
+	// lock client) to a spare idle core, so a task whose own endpoint went
+	// bad can make progress from a healthy one. The task's communicator
+	// rank is unchanged.
+	Remap bool
+}
+
+// TaskError reports a computation task that failed all its attempts. It
+// unwraps to the subroutine's final error, so errors.Is/As reach through
+// to PullError and the transport sentinels.
+type TaskError struct {
+	// Task identifies the failed task; Core is the core its last attempt
+	// ran its data operations from.
+	Task cluster.TaskID
+	Core cluster.CoreID
+	// Attempts is the number of times the subroutine was invoked.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+// Error formats the failure.
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("runtime: task %d.%d on core %d failed after %d attempt(s): %v",
+		e.Task.App, e.Task.Rank, e.Core, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the subroutine's error.
+func (e *TaskError) Unwrap() error { return e.Err }
+
 // clientState tracks one execution client in the management server.
 type clientState int
 
@@ -132,7 +178,8 @@ type Server struct {
 	mu      sync.Mutex
 	clients map[cluster.CoreID]clientState
 
-	tracer atomic.Pointer[obs.Tracer]
+	tracer    atomic.Pointer[obs.Tracer]
+	taskRetry atomic.Pointer[TaskRetryPolicy]
 }
 
 // NewServer bootstraps the framework on a machine for a coupled data
@@ -165,6 +212,20 @@ func NewServer(m *cluster.Machine, domain geometry.BBox, seed int64) (*Server, e
 func (s *Server) SetTracer(tr *obs.Tracer) {
 	s.tracer.Store(tr)
 	s.space.SetTracer(tr)
+}
+
+// SetTaskRetry installs the task retry policy: a failed task is re-run up
+// to the policy's attempt budget, with backoff between attempts and
+// optionally remapped to a spare core. The zero policy (the default)
+// disables task retrying.
+func (s *Server) SetTaskRetry(p TaskRetryPolicy) { s.taskRetry.Store(&p) }
+
+// taskRetryPolicy returns the installed policy (zero when none).
+func (s *Server) taskRetryPolicy() TaskRetryPolicy {
+	if p := s.taskRetry.Load(); p != nil {
+		return *p
+	}
+	return TaskRetryPolicy{}
 }
 
 // Machine returns the underlying machine.
@@ -206,6 +267,17 @@ type Report struct {
 	TasksRun   int
 	// PlacementOf records the placement each application ran under.
 	PlacementOf map[int]*cluster.Placement
+
+	// TaskAttempts counts every subroutine invocation, retries included;
+	// it equals TasksRun when nothing failed.
+	TaskAttempts int
+	// TaskRetries counts re-invocations after a failed attempt.
+	TaskRetries int
+	// TaskRecoveries counts tasks that succeeded after >= 1 failure.
+	TaskRecoveries int
+	// FaultsInjected is the fabric's injected-error total at run end
+	// (across the fabric's lifetime, not just this run).
+	FaultsInjected int64
 }
 
 // Run executes a workflow to completion under the given mapping policy.
@@ -268,9 +340,13 @@ func (s *Server) Run(d *workflow.DAG, policy Policy) (*Report, error) {
 				groupStart = time.Now()
 				obsBundlesRun.Add(int64(len(grp)))
 			}
-			err = s.launchGroup(appIDs, pl, gs.ID())
+			gstats, err := s.launchGroup(appIDs, pl, gs.ID())
+			rep.TaskAttempts += gstats.attempts
+			rep.TaskRetries += gstats.retries
+			rep.TaskRecoveries += gstats.recoveries
 			gs.End()
 			if err != nil {
+				rep.FaultsInjected = s.fabric.FaultsInjected()
 				return nil, err
 			}
 			if !groupStart.IsZero() {
@@ -288,6 +364,7 @@ func (s *Server) Run(d *workflow.DAG, policy Policy) (*Report, error) {
 			}
 		}
 	}
+	rep.FaultsInjected = s.fabric.FaultsInjected()
 	return rep, nil
 }
 
@@ -368,15 +445,26 @@ func sameBundle(d *workflow.DAG, appIDs []int) bool {
 	return false
 }
 
+// groupStats tallies the retry activity of one launched group.
+type groupStats struct {
+	attempts   int
+	retries    int
+	recoveries int
+}
+
 // launchGroup runs every task of the group's applications on its placed
 // core: a bundle-wide communicator is created, each execution client
 // colors itself with its application id and splits into the per-app
-// communicator, then runs the registered subroutine.
-func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.SpanID) error {
+// communicator, then runs the registered subroutine. When a task retry
+// policy is installed, a failed subroutine is re-invoked up to the attempt
+// budget with backoff between attempts; the communicator split happens
+// once, before the first attempt, because a torn-down group cannot be
+// re-colored without its peers.
+func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.SpanID) (groupStats, error) {
 	// Deterministic task order defines bundle-comm ranks.
 	tasks := pl.Tasks()
 	if len(tasks) == 0 {
-		return fmt.Errorf("runtime: empty placement")
+		return groupStats{}, fmt.Errorf("runtime: empty placement")
 	}
 	cores := make([]cluster.CoreID, len(tasks))
 	for i, t := range tasks {
@@ -384,7 +472,7 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.Spa
 	}
 	bundleComms, err := mpi.NewComms(s.fabric, cores, 0, "setup")
 	if err != nil {
-		return err
+		return groupStats{}, err
 	}
 	// Producer info for concurrent coupling inside the group.
 	producers := make(map[int]cods.ProducerInfo, len(appIDs))
@@ -400,8 +488,10 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.Spa
 	s.markClients(cores, clientBusy)
 	defer s.markClients(cores, clientIdle)
 
+	pol := s.taskRetryPolicy()
 	tr := s.tracer.Load()
 	errs := make([]error, len(tasks))
+	stats := make([]groupStats, len(tasks))
 	var wg sync.WaitGroup
 	for i, t := range tasks {
 		wg.Add(1)
@@ -423,7 +513,8 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.Spa
 					obsTaskNs.Observe(time.Since(taskStart).Nanoseconds())
 				}()
 			}
-			// Coloring: same app id -> same process group.
+			// Coloring: same app id -> same process group. Split errors are
+			// not retried: the peers have already formed the group.
 			sub, err := bundleComms[i].CommSplit(t.App, t.Rank)
 			if err != nil {
 				errs[i] = err
@@ -436,28 +527,96 @@ func (s *Server) launchGroup(appIDs []int, pl *cluster.Placement, parent obs.Spa
 					others[a] = info
 				}
 			}
-			h := s.space.HandleAt(cores[i], t.App, fmt.Sprintf("app:%d", t.App))
-			h.SetSpanParent(ts.ID())
-			ctx := &AppContext{
-				AppID:     t.App,
-				Rank:      t.Rank,
-				Comm:      sub,
-				Space:     h,
-				Decomp:    spec.Decomp,
-				Producers: others,
-				Locks:     s.locks.ClientAt(cores[i]),
-				Machine:   s.machine,
+			// core is where the task's data operations bind; a remap moves
+			// it to a spare execution client between attempts.
+			core := cores[i]
+			runAttempt := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("runtime: task %v panicked: %v", t, r)
+					}
+				}()
+				h := s.space.HandleAt(core, t.App, fmt.Sprintf("app:%d", t.App))
+				h.SetSpanParent(ts.ID())
+				ctx := &AppContext{
+					AppID:     t.App,
+					Rank:      t.Rank,
+					Comm:      sub,
+					Space:     h,
+					Decomp:    spec.Decomp,
+					Producers: others,
+					Locks:     s.locks.ClientAt(core),
+					Machine:   s.machine,
+				}
+				return spec.Run(ctx)
 			}
-			errs[i] = spec.Run(ctx)
+			seed := uint64(uint32(t.App))<<32 | uint64(uint32(t.Rank))
+			attempts, err := retry.Do(pol.Policy, seed, nil,
+				func(d time.Duration) {
+					obsTaskBackoff.Observe(d.Nanoseconds())
+				},
+				func(attempt int) error {
+					if attempt > 1 {
+						stats[i].retries++
+						obsTaskRetries.Inc()
+						tr.Event(ts.ID(), fmt.Sprintf("retry:task:%d.%d", t.App, t.Rank))
+						if pol.Remap {
+							if spare, ok := s.spareCore(core); ok {
+								core = spare
+								obsTaskRemaps.Inc()
+							}
+						}
+					}
+					stats[i].attempts++
+					return runAttempt()
+				})
+			if err != nil {
+				errs[i] = &TaskError{Task: t, Core: core, Attempts: attempts, Err: err}
+				return
+			}
+			if attempts > 1 {
+				stats[i].recoveries++
+				obsTaskRecovs.Inc()
+				tr.Event(ts.ID(), fmt.Sprintf("recovered:task:%d.%d", t.App, t.Rank))
+			}
 		}(i, t)
 	}
 	wg.Wait()
+	var gs groupStats
+	for _, st := range stats {
+		gs.attempts += st.attempts
+		gs.retries += st.retries
+		gs.recoveries += st.recoveries
+	}
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("runtime: task %v: %w", tasks[i], err)
+			var te *TaskError
+			if errors.As(err, &te) {
+				return gs, err
+			}
+			return gs, fmt.Errorf("runtime: task %v: %w", tasks[i], err)
 		}
 	}
-	return nil
+	return gs, nil
+}
+
+// spareCore picks an idle execution client other than busy, for remapping a
+// retried task's data operations. Spares are not marked busy: a handle on a
+// shared core is harmless (every endpoint operation is concurrency-safe),
+// and marking would starve sibling retries on small machines.
+func (s *Server) spareCore(busy cluster.CoreID) (cluster.CoreID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best, found := cluster.CoreID(0), false
+	for c, st := range s.clients {
+		if st != clientIdle || c == busy {
+			continue
+		}
+		if !found || c < best {
+			best, found = c, true
+		}
+	}
+	return best, found
 }
 
 // markClients flips the registration state of a core set.

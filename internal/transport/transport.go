@@ -14,6 +14,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,12 @@ import (
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/obs"
 )
+
+// ErrEndpointClosed marks operations against an endpoint that has been
+// closed: Send to it, Recv on it, Read of its buffers, Call of its
+// services. Callers test for it with errors.Is; it is terminal, not
+// transient — retry layers give up on it immediately.
+var ErrEndpointClosed = errors.New("endpoint closed")
 
 // Registry instruments, indexed by cluster.Medium. The fabric's own
 // per-instance counters (MediumBytes/MediumOps) and these process-wide
@@ -91,6 +98,11 @@ type Fabric struct {
 	// the blocking RDMA get of the paper's DART; it is what the parallel
 	// pull engine overlaps. Byte accounting is unaffected.
 	readLatency [2]atomic.Int64
+
+	// fault is the installed fault plan (nil = none); faultsInjected
+	// counts error faults across all plans this fabric has carried.
+	fault          atomic.Pointer[FaultPlan]
+	faultsInjected atomic.Int64
 }
 
 // NewFabric creates a fabric with one endpoint per core of the machine.
@@ -202,12 +214,15 @@ func (ep *Endpoint) Send(dst cluster.CoreID, tag uint64, payload []byte, m Meter
 	if int(dst) < 0 || int(dst) >= len(ep.fabric.endpoints) {
 		return fmt.Errorf("transport: destination core %d out of range", dst)
 	}
+	if err := ep.fabric.inject(FaultSend, int(ep.fabric.medium(ep.core, dst)), ep.core, dst); err != nil {
+		return err
+	}
 	ep.fabric.record(m, ep.core, dst, int64(len(payload)))
 	de := ep.fabric.endpoints[int(dst)]
 	de.mu.Lock()
 	defer de.mu.Unlock()
 	if de.closed {
-		return fmt.Errorf("transport: endpoint %d closed", dst)
+		return fmt.Errorf("transport: sending to endpoint %d: %w", dst, ErrEndpointClosed)
 	}
 	de.inbox = append(de.inbox, Message{Src: ep.core, Tag: tag, Payload: payload})
 	de.inboxCond.Broadcast()
@@ -218,6 +233,15 @@ func (ep *Endpoint) Send(dst cluster.CoreID, tag uint64, payload []byte, m Meter
 // it. Pass AnySource to match any sender. Messages from the same sender
 // with the same tag are delivered in send order.
 func (ep *Endpoint) Recv(src cluster.CoreID, tag uint64) (Message, error) {
+	// A receive from AnySource has no determinable medium; it only matches
+	// medium-agnostic fault rules.
+	md := anyMedium
+	if src != AnySource {
+		md = int(ep.fabric.medium(src, ep.core))
+	}
+	if err := ep.fabric.inject(FaultRecv, md, src, ep.core); err != nil {
+		return Message{}, err
+	}
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	for {
@@ -228,7 +252,7 @@ func (ep *Endpoint) Recv(src cluster.CoreID, tag uint64) (Message, error) {
 			}
 		}
 		if ep.closed {
-			return Message{}, fmt.Errorf("transport: endpoint %d closed while receiving", ep.core)
+			return Message{}, fmt.Errorf("transport: receiving on endpoint %d: %w", ep.core, ErrEndpointClosed)
 		}
 		ep.inboxCond.Wait()
 	}
@@ -285,9 +309,16 @@ func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64,
 	if int(owner) < 0 || int(owner) >= len(ep.fabric.endpoints) {
 		return fmt.Errorf("transport: owner core %d out of range", owner)
 	}
+	if err := ep.fabric.inject(FaultRead, int(ep.fabric.medium(owner, ep.core)), ep.core, owner); err != nil {
+		return err
+	}
 	oe := ep.fabric.endpoints[int(owner)]
 	oe.exportMu.Lock()
 	for {
+		if oe.exportClosed {
+			oe.exportMu.Unlock()
+			return fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
+		}
 		if e, ok := oe.exports[key]; ok {
 			payload := e.payload
 			oe.exportMu.Unlock()
@@ -297,10 +328,6 @@ func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64,
 				read(payload)
 			}
 			return nil
-		}
-		if oe.exportClosed {
-			oe.exportMu.Unlock()
-			return fmt.Errorf("transport: endpoint %d closed while waiting for %v", owner, key)
 		}
 		oe.exportCond.Wait()
 	}
@@ -312,14 +339,21 @@ func (ep *Endpoint) TryRead(owner cluster.CoreID, key BufKey, m Meter, bytes int
 	if int(owner) < 0 || int(owner) >= len(ep.fabric.endpoints) {
 		return false, fmt.Errorf("transport: owner core %d out of range", owner)
 	}
+	if err := ep.fabric.inject(FaultRead, int(ep.fabric.medium(owner, ep.core)), ep.core, owner); err != nil {
+		return false, err
+	}
 	oe := ep.fabric.endpoints[int(owner)]
 	oe.exportMu.Lock()
+	closed := oe.exportClosed
 	e, ok := oe.exports[key]
 	var payload any
 	if ok {
 		payload = e.payload
 	}
 	oe.exportMu.Unlock()
+	if closed {
+		return false, fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
+	}
 	if !ok {
 		return false, nil
 	}
@@ -356,7 +390,16 @@ func (ep *Endpoint) Call(dst cluster.CoreID, service string, request any, m Mete
 	if int(dst) < 0 || int(dst) >= len(ep.fabric.endpoints) {
 		return nil, fmt.Errorf("transport: destination core %d out of range", dst)
 	}
+	if err := ep.fabric.inject(FaultCall, int(ep.fabric.medium(ep.core, dst)), ep.core, dst); err != nil {
+		return nil, err
+	}
 	de := ep.fabric.endpoints[int(dst)]
+	de.mu.Lock()
+	closed := de.closed
+	de.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: calling %q on endpoint %d: %w", service, dst, ErrEndpointClosed)
+	}
 	handlerMu.Lock()
 	h := de.handlers[service]
 	handlerMu.Unlock()
