@@ -1,0 +1,59 @@
+package cods_test
+
+// Build-and-run smoke tests for every program under examples/: each must
+// compile and — unless -short — run to completion under the race detector
+// with a zero exit status. The examples double as integration coverage of
+// the public API surface the README documents.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// exampleDirs lists the example programs, failing the test if the
+// directory layout changed unexpectedly.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("reading examples/: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join("examples", e.Name()))
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return dirs
+}
+
+func TestExamplesBuild(t *testing.T) {
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping example runs in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "-race", "./"+dir)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run -race ./%s: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}

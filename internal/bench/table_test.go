@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/bench -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// sample is a fixed table exercising alignment, CSV escaping and notes.
+func sample() *Table {
+	tb := &Table{
+		ID:      "Fig. X",
+		Title:   "sample table",
+		Columns: []string{"series", "value", "share"},
+		Notes:   []string{"fixed fixture for the formatting golden"},
+	}
+	tb.AddRow("plain", gb(1_500_000_000), pct(1, 4))
+	tb.AddRow("quoted, comma", ms(0.0123), pct(0, 0))
+	tb.AddRow(`quoted "inner"`, gb(0), pct(3, 4))
+	return tb
+}
+
+func TestTableRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_render", buf.Bytes())
+}
+
+func TestTableCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_csv", buf.Bytes())
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := gb(2_000_000_000); got != "2" {
+		t.Errorf("gb = %q", got)
+	}
+	if got := gb(1_234_567); got != "0.00123457" {
+		t.Errorf("gb = %q", got)
+	}
+	if got := ms(0.5); got != "500.0" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := pct(1, 3); got != "33.3%" {
+		t.Errorf("pct = %q", got)
+	}
+	if got := pct(5, 0); got != "n/a" {
+		t.Errorf("pct(_, 0) = %q", got)
+	}
+}
+
+// TestFig8Golden pins the small-scale reproduction of Figure 8: the
+// mapping algorithms, the analytic volume arithmetic and the network
+// simulator are all deterministic, so the rendered table must be
+// byte-stable.
+func TestFig8Golden(t *testing.T) {
+	tb, err := Fig8(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig08_small", buf.Bytes())
+}
+
+// TestRatioSweepGolden pins the halo-ratio sweep at small scale.
+func TestRatioSweepGolden(t *testing.T) {
+	tb, err := RatioSweep(SmallScale(), []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "ratio_small", buf.Bytes())
+}

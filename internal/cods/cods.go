@@ -36,6 +36,7 @@ import (
 	"github.com/insitu/cods/internal/decomp"
 	"github.com/insitu/cods/internal/dht"
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/mutate"
 	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/sfc"
@@ -419,6 +420,9 @@ func normalizeSchedule(sched []transfer) []transfer {
 	}
 	sortSchedule(out)
 	obsSchedCoalesced.Add(int64(raw - len(out)))
+	if mutate.Enabled(mutate.DropCoalesce) && len(out) > 1 {
+		out = out[:len(out)-1] // seeded defect: merge swallowed a sub-box
+	}
 	return out
 }
 
@@ -486,6 +490,9 @@ func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]f
 		var pe *PullError
 		if !h.sp.RetryPolicy().Enabled() || !errors.As(err, &pe) {
 			break
+		}
+		if mutate.Enabled(mutate.NoRequery) {
+			break // seeded defect: give up instead of re-querying the lookup
 		}
 		obsPullRequeries.Inc()
 		if t := h.sp.tracer.Load(); t != nil {
@@ -776,7 +783,7 @@ func (h *Handle) cachedSchedule(key, v string) ([]transfer, bool) {
 		return nil, false
 	}
 	epoch, gen := h.sp.scheduleStamp(v)
-	if e.epoch != epoch || e.gen != gen {
+	if (e.epoch != epoch || e.gen != gen) && !mutate.Enabled(mutate.StaleEpoch) {
 		delete(h.schedCache, key) // stale: discarded/restaged since computed
 		return nil, false
 	}

@@ -1,0 +1,469 @@
+// Package conformance runs generated workflow scenarios (internal/genwf)
+// through the real shared-space pipeline and through the sequential
+// reference model (internal/refmodel) side by side, asserting that the
+// two agree byte for byte and that the cross-layer accounting invariants
+// hold (DESIGN §5e): metered inter-application traffic equals the
+// model-computed intersection volumes partitioned by medium, the fabric's
+// medium totals reconcile with the per-class metrics, recorded flows match
+// the model-predicted (source node, destination node) aggregation, lookup
+// queries return exactly the owners the model predicts, and schedule-cache
+// hits never change the bytes moved.
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/genwf"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/graph"
+	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/refmodel"
+	"github.com/insitu/cods/internal/retry"
+	"github.com/insitu/cods/internal/sfc"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// Application IDs of the two coupled applications of every scenario.
+const (
+	prodAppID = 1
+	consAppID = 2
+)
+
+// Options tunes one conformance run.
+type Options struct {
+	// Timeout is the watchdog for the whole scenario (0 = 60s). A stuck
+	// scenario — e.g. a consumer blocked forever on a stale schedule — is
+	// reported as a failure instead of hanging the suite.
+	Timeout time.Duration
+
+	// CorruptGet flips one cell of one retrieved region before the
+	// model comparison, forcing a deterministic failure. The shrinking
+	// tests use it to exercise the minimization machinery on a failure
+	// every scenario exhibits.
+	CorruptGet bool
+}
+
+// Run executes the scenario and returns nil when the real pipeline agrees
+// with the reference model and every invariant holds.
+func Run(sc genwf.Scenario) error { return RunOpts(sc, Options{}) }
+
+// RunOpts is Run with explicit options.
+func RunOpts(sc genwf.Scenario, opts Options) error {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(sc, opts) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("conformance: scenario stuck after %v (likely a consumer blocked on a never-exposed buffer)\n%s",
+			timeout, sc.GoLiteral())
+	}
+}
+
+// consumer is one consumer task's execution state, persistent across get
+// rounds so the schedule cache behaves as it does in a long-running
+// application.
+type consumer struct {
+	h       *cods.Handle
+	rank    int
+	regions []geometry.BBox
+}
+
+func run(sc genwf.Scenario, opts Options) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	// The SFC span cache is process-global: reset it and install the
+	// scenario's capacity, restoring the default afterwards.
+	sfc.SetSpanCacheCapacity(sc.SpanCache)
+	sfc.ResetSpanCache()
+	defer func() {
+		sfc.SetSpanCacheCapacity(sfc.DefaultSpanCacheCapacity)
+		sfc.ResetSpanCache()
+	}()
+
+	machine, err := cluster.NewMachine(sc.Nodes, sc.CoresPerNode)
+	if err != nil {
+		return err
+	}
+	fabric := transport.NewFabric(machine)
+	space, err := cods.NewSpace(fabric, sc.DomainBox())
+	if err != nil {
+		return err
+	}
+	if sc.PullWorkers > 0 {
+		space.SetPullWorkers(sc.PullWorkers)
+	}
+	if sc.Retry > 0 {
+		space.SetRetryPolicy(retry.Policy{
+			MaxAttempts: sc.Retry,
+			BaseDelay:   time.Microsecond,
+			MaxDelay:    50 * time.Microsecond,
+			Multiplier:  2,
+			Jitter:      0.2,
+		})
+	}
+	if sc.Faults != "" {
+		plan, err := transport.ParseFaultPlan([]byte(sc.Faults))
+		if err != nil {
+			return fmt.Errorf("conformance: fault plan: %w", err)
+		}
+		fabric.SetFaultPlan(plan)
+	}
+
+	prod, err := sc.ProdDecomp()
+	if err != nil {
+		return err
+	}
+	cons, err := sc.ConsDecomp()
+	if err != nil {
+		return err
+	}
+	prodApp := graph.App{ID: prodAppID, Decomp: prod}
+	consApp := graph.App{ID: consAppID, Decomp: cons}
+	model := refmodel.New(sc.DomainBox())
+	pred := newPredictor(machine)
+
+	if sc.Sequential {
+		err = runSequential(sc, opts, machine, space, prodApp, consApp, model, pred)
+	} else {
+		err = runConcurrent(sc, opts, machine, space, prodApp, consApp, model, pred)
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// placeConcurrent maps both applications of a concurrent bundle at once.
+func placeConcurrent(sc genwf.Scenario, m *cluster.Machine, prodApp, consApp graph.App) (*cluster.Placement, error) {
+	apps := []graph.App{prodApp, consApp}
+	switch sc.Mapping {
+	case genwf.RoundRobin:
+		return mapping.RoundRobin(m, apps, nil)
+	case genwf.ServerDataCentric:
+		return mapping.ServerDataCentric(m, mapping.Bundle{
+			Apps:      apps,
+			Couplings: [][2]int{{prodAppID, consAppID}},
+		}, nil, cods.ElemSize, int64(sc.Seed%1024))
+	default:
+		return mapping.Consecutive(m, apps, nil)
+	}
+}
+
+// placeSequentialConsumer maps the consumer of a sequential coupling; for
+// the client-side data-centric policy the lookup service must already hold
+// the producer's registrations.
+func placeSequentialConsumer(sc genwf.Scenario, m *cluster.Machine, space *cods.Space, consApp graph.App) (*cluster.Placement, error) {
+	switch sc.Mapping {
+	case genwf.RoundRobin:
+		return mapping.RoundRobin(m, []graph.App{consApp}, nil)
+	case genwf.ClientDataCentric:
+		return mapping.ClientDataCentric(m, space.Lookup(), []mapping.Consumer{
+			{App: consApp, Var: sc.VarNames()[0], Version: 0},
+		}, nil, "map")
+	default:
+		return mapping.Consecutive(m, []graph.App{consApp}, nil)
+	}
+}
+
+// getRegions returns the regions consumer rank retrieves: its owned boxes,
+// ghost-expanded when the scenario has a halo.
+func getRegions(cons *decomp.Decomposition, rank, ghost int) []geometry.BBox {
+	if ghost > 0 {
+		return cons.GhostRegions(rank, ghost)
+	}
+	return cons.Region(rank)
+}
+
+// runTasks runs fn for every index concurrently and returns the first
+// error.
+func runTasks(n int, fn func(i int) error) error {
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { errc <- fn(i) }(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// newConsumers builds the persistent consumer states from a placement.
+func newConsumers(sc genwf.Scenario, space *cods.Space, consPl *cluster.Placement, cons *decomp.Decomposition) []*consumer {
+	out := make([]*consumer, cons.NumTasks())
+	for r := range out {
+		core := consPl.MustCoreOf(cluster.TaskID{App: consAppID, Rank: r})
+		out[r] = &consumer{
+			h:       space.HandleAt(core, consAppID, "couple"),
+			rank:    r,
+			regions: getRegions(cons, r, sc.Ghost),
+		}
+	}
+	return out
+}
+
+// rotate returns the consumer's deterministic, seed-dependent traversal
+// order of its regions, so get orderings vary across scenarios without
+// introducing nondeterminism within one.
+func rotate(n int, seed uint64, rank int) []int {
+	out := make([]int, n)
+	off := int((seed>>8 + uint64(uint32(rank))) % uint64(n))
+	for i := range out {
+		out[i] = (i + off) % n
+	}
+	return out
+}
+
+// consumeRound performs one full get round (every consumer, every variable,
+// every version) and checks every retrieved region byte for byte against
+// the model. round tags restage rounds; the forced corruption only applies
+// to round 0 so the second round of a restage scenario stays meaningful.
+func consumeRound(sc genwf.Scenario, opts Options, consumers []*consumer, model *refmodel.Model,
+	get func(c *consumer, v string, version int, region geometry.BBox) ([]float64, error), round int) error {
+	return runTasks(len(consumers), func(i int) error {
+		c := consumers[i]
+		order := rotate(len(c.regions), sc.Seed, c.rank)
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, ri := range order {
+					region := c.regions[ri]
+					got, err := get(c, v, version, region)
+					if err != nil {
+						return fmt.Errorf("conformance: rank %d get %q v%d %v: %w\n%s",
+							c.rank, v, version, region, err, sc.GoLiteral())
+					}
+					if opts.CorruptGet && round == 0 && c.rank == 0 && ri == 0 && version == 0 && v == sc.VarNames()[0] {
+						got[0]++ // forced divergence for the shrinking tests
+					}
+					want, err := model.Get(v, version, region)
+					if err != nil {
+						return fmt.Errorf("conformance: model get %q v%d %v: %w", v, version, region, err)
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							return fmt.Errorf("conformance: rank %d %q v%d %v: cell %d = %v, model says %v\n%s",
+								c.rank, v, version, region, j, got[j], want[j], sc.GoLiteral())
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// runConcurrent executes a concurrently coupled scenario: both
+// applications are placed as one bundle, producers expose their blocks for
+// direct pulls and consumers locate them through the producer's
+// decomposition, overlapped in time unless the scenario is staged.
+func runConcurrent(sc genwf.Scenario, opts Options, machine *cluster.Machine, space *cods.Space,
+	prodApp, consApp graph.App, model *refmodel.Model, pred *predictor) error {
+	pl, err := placeConcurrent(sc, machine, prodApp, consApp)
+	if err != nil {
+		return err
+	}
+	prod, cons := prodApp.Decomp, consApp.Decomp
+
+	// The model is fully populated up front: concurrent consumers block
+	// until the producer exposes each block, so the final bytes are
+	// defined regardless of interleaving.
+	for r := 0; r < prod.NumTasks(); r++ {
+		core := pl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r})
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, piece := range prod.Region(r) {
+					if err := model.Put(v, version, piece, int(core), sc.FillRegion(v, version, piece)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	consumers := newConsumers(sc, space, pl, cons)
+	for _, c := range consumers {
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, region := range c.regions {
+					pred.addGet(model, v, version, region, c.h.Core())
+				}
+			}
+		}
+	}
+
+	info := cods.ProducerInfo{
+		Decomp: prod,
+		CoreOf: func(rank int) cluster.CoreID {
+			return pl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: rank})
+		},
+	}
+	produce := func(r int) error {
+		h := space.HandleAt(pl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r}), prodAppID, "stage")
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, piece := range prod.Region(r) {
+					if err := h.PutConcurrent(v, version, piece, sc.FillRegion(v, version, piece)); err != nil {
+						return fmt.Errorf("conformance: rank %d put %q v%d %v: %w", r, v, version, piece, err)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	get := func(c *consumer, v string, version int, region geometry.BBox) ([]float64, error) {
+		return c.h.GetConcurrent(info, v, version, region)
+	}
+
+	if sc.Staged {
+		if err := runTasks(prod.NumTasks(), produce); err != nil {
+			return err
+		}
+		if err := consumeRound(sc, opts, consumers, model, get, 0); err != nil {
+			return err
+		}
+	} else {
+		perr := make(chan error, 1)
+		go func() { perr <- runTasks(prod.NumTasks(), produce) }()
+		cerr := consumeRound(sc, opts, consumers, model, get, 0)
+		if err := <-perr; err != nil {
+			return err
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return checkInvariants(sc, machine, space, pred, consumers, pl, pl, prodApp, consApp)
+}
+
+// runSequential executes a sequentially coupled scenario: the producer
+// stages every version through the lookup service and finishes; the
+// consumer is then placed (possibly data-centrically, from the populated
+// lookup) and retrieves everything; a restage scenario then moves every
+// block to a different core and re-runs the gets.
+func runSequential(sc genwf.Scenario, opts Options, machine *cluster.Machine, space *cods.Space,
+	prodApp, consApp graph.App, model *refmodel.Model, pred *predictor) error {
+	prod, cons := prodApp.Decomp, consApp.Decomp
+	prodPl, err := mapping.Consecutive(machine, []graph.App{prodApp}, nil)
+	if err != nil {
+		return err
+	}
+	if err := runTasks(prod.NumTasks(), func(r int) error {
+		core := prodPl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r})
+		h := space.HandleAt(core, prodAppID, "stage")
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, piece := range prod.Region(r) {
+					if err := h.PutSequential(v, version, piece, sc.FillRegion(v, version, piece)); err != nil {
+						return fmt.Errorf("conformance: rank %d put %q v%d %v: %w", r, v, version, piece, err)
+					}
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for r := 0; r < prod.NumTasks(); r++ {
+		core := prodPl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r})
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, piece := range prod.Region(r) {
+					if err := model.Put(v, version, piece, int(core), sc.FillRegion(v, version, piece)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if err := checkOwners(sc, machine, space, cons, model); err != nil {
+		return err
+	}
+
+	consPl, err := placeSequentialConsumer(sc, machine, space, consApp)
+	if err != nil {
+		return err
+	}
+	consumers := newConsumers(sc, space, consPl, cons)
+	for _, c := range consumers {
+		for version := 0; version < sc.Versions; version++ {
+			for _, v := range sc.VarNames() {
+				for _, region := range c.regions {
+					pred.addGet(model, v, version, region, c.h.Core())
+				}
+			}
+		}
+	}
+	get := func(c *consumer, v string, version int, region geometry.BBox) ([]float64, error) {
+		return c.h.GetSequential(v, version, region)
+	}
+	if err := consumeRound(sc, opts, consumers, model, get, 0); err != nil {
+		return err
+	}
+
+	if sc.Restage {
+		if err := restage(sc, machine, space, prod, prodPl, model); err != nil {
+			return err
+		}
+		if err := checkOwners(sc, machine, space, cons, model); err != nil {
+			return err
+		}
+		for _, c := range consumers {
+			for _, v := range sc.VarNames() {
+				for _, region := range c.regions {
+					pred.addGet(model, v, 0, region, c.h.Core())
+				}
+			}
+		}
+		if err := consumeRound(sc, opts, consumers, model, get, 1); err != nil {
+			return err
+		}
+	}
+	return checkInvariants(sc, machine, space, pred, consumers, prodPl, consPl, prodApp, consApp)
+}
+
+// restage moves every stored block one node over (one core over on a
+// single-node machine): discard at the old core, re-stage at the new one.
+// Schedule caches must notice — a consumer still pulling at the old core
+// would block forever on the unexposed buffer.
+func restage(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
+	prod *decomp.Decomposition, prodPl *cluster.Placement, model *refmodel.Model) error {
+	shift := machine.CoresPerNode()
+	if machine.NumNodes() == 1 {
+		shift = 1
+	}
+	for r := 0; r < prod.NumTasks(); r++ {
+		oldCore := prodPl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r})
+		newCore := cluster.CoreID((int(oldCore) + shift) % machine.TotalCores())
+		hOld := space.HandleAt(oldCore, prodAppID, "restage")
+		hNew := space.HandleAt(newCore, prodAppID, "restage")
+		for _, v := range sc.VarNames() {
+			for _, piece := range prod.Region(r) {
+				if err := hOld.DiscardSequential(v, 0, piece); err != nil {
+					return fmt.Errorf("conformance: restage discard %q %v: %w", v, piece, err)
+				}
+				if err := model.Discard(v, 0, piece, int(oldCore)); err != nil {
+					return err
+				}
+				if err := hNew.PutSequential(v, 0, piece, sc.FillRegion(v, 0, piece)); err != nil {
+					return fmt.Errorf("conformance: restage put %q %v: %w", v, piece, err)
+				}
+				if err := model.Put(v, 0, piece, int(newCore), sc.FillRegion(v, 0, piece)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/genwf"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/graph"
+	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/refmodel"
+)
+
+// flowKey aggregates flows by (source node, destination node).
+type flowKey struct {
+	src, dst cluster.NodeID
+}
+
+// predictor accumulates, from the reference model alone, the
+// inter-application traffic the real run must produce: per-medium byte
+// totals and the per-(source node, destination node) aggregation.
+type predictor struct {
+	m         *cluster.Machine
+	flows     map[flowKey]int64
+	perMedium [2]int64
+}
+
+func newPredictor(m *cluster.Machine) *predictor {
+	return &predictor{m: m, flows: make(map[flowKey]int64)}
+}
+
+// addGet predicts the transfers of one consumer get from the model's
+// current block ownership: every stored block overlapping the region
+// contributes its intersection volume, pulled from the block owner's node
+// to the consumer core's node. Schedule coalescing in the real pipeline
+// merges sub-boxes but never changes these per-owner volumes.
+func (p *predictor) addGet(model *refmodel.Model, v string, version int, region geometry.BBox, consCore cluster.CoreID) {
+	dst := p.m.NodeOf(consCore)
+	for _, b := range model.Owners(v, version, region) {
+		n := refmodel.IntersectionVolume(b.Region, region) * cods.ElemSize
+		src := p.m.NodeOf(cluster.CoreID(b.Owner))
+		p.flows[flowKey{src: src, dst: dst}] += n
+		if src == dst {
+			p.perMedium[cluster.SharedMemory] += n
+		} else {
+			p.perMedium[cluster.Network] += n
+		}
+	}
+}
+
+// checkOwners asserts that, for every region a consumer will retrieve, a
+// lookup query answers with exactly the (owner, region) set the model
+// predicts, in the same deterministic order.
+func checkOwners(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
+	cons *decomp.Decomposition, model *refmodel.Model) error {
+	cl := space.Lookup().ClientAt(machine.CoreOn(0, 0))
+	for r := 0; r < cons.NumTasks(); r++ {
+		for _, region := range getRegions(cons, r, sc.Ghost) {
+			for version := 0; version < sc.Versions; version++ {
+				for _, v := range sc.VarNames() {
+					entries, err := cl.Query("check", consAppID, v, version, region)
+					if err != nil {
+						return fmt.Errorf("conformance: lookup %q v%d %v: %w", v, version, region, err)
+					}
+					want := model.Owners(v, version, region)
+					if len(entries) != len(want) {
+						return fmt.Errorf("conformance: lookup %q v%d %v returned %d owners, model predicts %d\n%s",
+							v, version, region, len(entries), len(want), sc.GoLiteral())
+					}
+					for i, e := range entries {
+						if int(e.Owner) != want[i].Owner || !e.Region.Equal(want[i].Region) {
+							return fmt.Errorf("conformance: lookup %q v%d %v entry %d = owner %d %v, model predicts owner %d %v\n%s",
+								v, version, region, i, e.Owner, e.Region, want[i].Owner, want[i].Region, sc.GoLiteral())
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkInvariants runs the cross-layer accounting checks after all rounds
+// completed.
+func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
+	pred *predictor, consumers []*consumer, prodPl, consPl *cluster.Placement,
+	prodApp, consApp graph.App) error {
+	mx := machine.Metrics()
+
+	// 1. Metered inter-application bytes equal the model-computed
+	// intersection volumes, partitioned by medium per the placements.
+	for _, md := range []cluster.Medium{cluster.SharedMemory, cluster.Network} {
+		if got, want := mx.Bytes(cluster.InterApp, md), pred.perMedium[md]; got != want {
+			return fmt.Errorf("conformance: inter-app %s bytes = %d, model predicts %d\n%s",
+				md, got, want, sc.GoLiteral())
+		}
+		// 2. The fabric's independent medium counters reconcile with the
+		// per-class metrics.
+		sum := mx.Bytes(cluster.InterApp, md) + mx.Bytes(cluster.IntraApp, md) + mx.Bytes(cluster.Control, md)
+		if got := space.Fabric().MediumBytes(md); got != sum {
+			return fmt.Errorf("conformance: fabric %s bytes = %d, metrics classes sum to %d\n%s",
+				md, got, sum, sc.GoLiteral())
+		}
+		// 3. A two-application coupling generates no intra-app traffic.
+		if got := mx.Bytes(cluster.IntraApp, md); got != 0 {
+			return fmt.Errorf("conformance: unexpected intra-app %s bytes = %d\n%s", md, got, sc.GoLiteral())
+		}
+	}
+
+	// 4. The per-(source node, destination node) flow aggregation matches
+	// the model prediction exactly — this is what catches swapped flow
+	// endpoints that leave symmetric totals unchanged.
+	got := make(map[flowKey]int64)
+	for _, f := range mx.Flows("") {
+		if f.Class != cluster.InterApp.String() {
+			continue
+		}
+		got[flowKey{src: f.Src, dst: f.Dst}] += f.Bytes
+		wantMd := cluster.Network.String()
+		if f.Src == f.Dst {
+			wantMd = cluster.SharedMemory.String()
+		}
+		if f.Medium != wantMd {
+			return fmt.Errorf("conformance: flow %d->%d tagged %q, want %q\n%s",
+				f.Src, f.Dst, f.Medium, wantMd, sc.GoLiteral())
+		}
+	}
+	if err := compareFlowMaps(got, pred.flows); err != nil {
+		return fmt.Errorf("%w\n%s", err, sc.GoLiteral())
+	}
+
+	// 5. The static coupled-traffic analysis agrees with the measured
+	// totals for halo-free, restage-free scenarios (its overlap model
+	// covers exactly the owned regions, once per variable per version).
+	if sc.Ghost == 0 && !sc.Restage {
+		tr, err := mapping.CoupledTraffic(machine, prodPl, consPl, prodApp, consApp, cods.ElemSize)
+		if err != nil {
+			return err
+		}
+		mult := int64(sc.Versions * sc.Vars)
+		if tr.Shm*mult != pred.perMedium[cluster.SharedMemory] || tr.Network*mult != pred.perMedium[cluster.Network] {
+			return fmt.Errorf("conformance: CoupledTraffic predicts shm=%d net=%d (x%d), model predicts shm=%d net=%d\n%s",
+				tr.Shm, tr.Network, mult, pred.perMedium[cluster.SharedMemory], pred.perMedium[cluster.Network], sc.GoLiteral())
+		}
+	}
+
+	// 6. Schedule-cache behavior is exactly as designed — repeated
+	// coupling patterns hit, invalidation forces recomputation — and,
+	// because check 1 already pinned the bytes, hits provably never
+	// changed what was transferred.
+	// Ghost expansion can clip two owned pieces to the same region; a
+	// schedule is computed once per distinct region per handle, so hits
+	// are total gets minus that.
+	var hits, misses, gets, distinct int
+	for _, c := range consumers {
+		hits += c.h.CacheHits
+		misses += c.h.CacheMisses
+		gets += sc.Vars * len(c.regions) * sc.Versions
+		seen := make(map[string]bool)
+		for _, r := range c.regions {
+			seen[r.String()] = true
+		}
+		distinct += sc.Vars * len(seen)
+	}
+	wantMisses := distinct
+	if sc.Restage {
+		gets *= 2       // the second round re-gets everything...
+		wantMisses *= 2 // ...and restaging invalidated every schedule
+	}
+	wantHits := gets - wantMisses
+	if hits != wantHits {
+		return fmt.Errorf("conformance: schedule cache hits = %d, want %d\n%s",
+			hits, wantHits, sc.GoLiteral())
+	}
+	// Under faults a failed pull re-queries the lookup and recomputes its
+	// schedule, which counts as an extra miss; fault-free runs miss
+	// exactly once per distinct region.
+	if misses != wantMisses && (sc.Faults == "" || misses < wantMisses) {
+		return fmt.Errorf("conformance: schedule cache misses = %d, want %d\n%s",
+			misses, wantMisses, sc.GoLiteral())
+	}
+	return nil
+}
+
+// compareFlowMaps diffs two (src node, dst node) -> bytes aggregations.
+func compareFlowMaps(got, want map[flowKey]int64) error {
+	keys := make(map[flowKey]bool, len(got)+len(want))
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	ordered := make([]flowKey, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].src != ordered[j].src {
+			return ordered[i].src < ordered[j].src
+		}
+		return ordered[i].dst < ordered[j].dst
+	})
+	for _, k := range ordered {
+		if got[k] != want[k] {
+			return fmt.Errorf("conformance: inter-app flow %d->%d = %d bytes, model predicts %d",
+				k.src, k.dst, got[k], want[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,462 @@
+// Package genwf generates randomized coupled-workflow scenarios for the
+// model-based conformance harness (DESIGN §5e). A Scenario is a plain
+// value describing one complete coupled run — machine shape, 1-D to 3-D
+// domain, producer and consumer decompositions, ghost overlap, coupling
+// mode, task-mapping policy, pull-engine tuning, optional fault plan —
+// drawn deterministically from a single seed. The conformance driver
+// (internal/conformance) executes scenarios against the real Space and the
+// reference model; Shrink reduces a failing scenario to a minimal one.
+package genwf
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/sfc"
+)
+
+// Policy selects the task-mapping strategy of a scenario.
+type Policy int
+
+// The four mapping policies of the framework. Server-side data-centric
+// mapping applies to concurrently coupled bundles, client-side to
+// sequentially coupled consumers; the generator respects that pairing.
+const (
+	Consecutive Policy = iota
+	RoundRobin
+	ServerDataCentric
+	ClientDataCentric
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Consecutive:
+		return "consecutive"
+	case RoundRobin:
+		return "round-robin"
+	case ServerDataCentric:
+		return "server-data-centric"
+	case ClientDataCentric:
+		return "client-data-centric"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Scenario is one generated coupled-workflow configuration. It is a pure
+// value: two runs of the same scenario perform identical operations with
+// identical data, which is what makes shrunk repros replayable from the
+// printed literal alone.
+type Scenario struct {
+	// Seed drives the data fill and the per-task operation orderings. It
+	// does NOT re-derive the other fields — a shrunk scenario keeps its
+	// seed while its structure changes.
+	Seed uint64
+
+	// Machine shape.
+	Nodes        int
+	CoresPerNode int
+
+	// Domain is the coupled data domain, one extent per dimension (1–3).
+	Domain []int
+
+	// Sequential selects staged coupling through the lookup service;
+	// false couples the applications concurrently with direct pulls.
+	Sequential bool
+
+	// Producer and consumer decompositions. Blocks are only consulted for
+	// decomp.BlockCyclic.
+	ProdKind  decomp.Kind
+	ProdGrid  []int
+	ProdBlock []int
+	ConsKind  decomp.Kind
+	ConsGrid  []int
+	ConsBlock []int
+
+	// Vars is how many independent variables the producer stages (1 or 2).
+	Vars int
+
+	// Ghost expands every consumer get region by this halo width, clipped
+	// to the domain, making schedules straddle producer block boundaries.
+	Ghost int
+
+	// Versions is the number of coupling iterations.
+	Versions int
+
+	// Mapping places the tasks.
+	Mapping Policy
+
+	// PullWorkers bounds the pull engine concurrency (0 = default).
+	PullWorkers int
+
+	// SpanCache is the global SFC span-cache capacity for the run
+	// (0 disables caching).
+	SpanCache int
+
+	// Staged makes a concurrent scenario run its producers to completion
+	// before starting consumers; false overlaps them, with consumers
+	// blocking on exposure. Ignored for sequential scenarios (which are
+	// always staged by nature).
+	Staged bool
+
+	// Restage makes the producers of a sequential single-version scenario
+	// discard every block after the first get round and re-stage it at
+	// the next rank's core, followed by a second get round — exercising
+	// schedule-cache invalidation and DHT removal.
+	Restage bool
+
+	// Faults is an optional transport fault-plan JSON ("" = none). The
+	// generator only emits recoverable plans: every error window or
+	// fire bound stays below the retry budget.
+	Faults string
+
+	// Retry is the retry MaxAttempts for transfers and control RPCs
+	// (0 = no retry policy installed).
+	Retry int
+}
+
+// DomainBox returns the scenario domain as a box anchored at the origin.
+func (sc Scenario) DomainBox() geometry.BBox { return geometry.BoxFromSize(sc.Domain) }
+
+// ProdDecomp builds the producer decomposition.
+func (sc Scenario) ProdDecomp() (*decomp.Decomposition, error) {
+	return decomp.New(sc.ProdKind, sc.DomainBox(), sc.ProdGrid, sc.ProdBlock)
+}
+
+// ConsDecomp builds the consumer decomposition.
+func (sc Scenario) ConsDecomp() (*decomp.Decomposition, error) {
+	return decomp.New(sc.ConsKind, sc.DomainBox(), sc.ConsGrid, sc.ConsBlock)
+}
+
+// VarNames returns the variable names the scenario couples.
+func (sc Scenario) VarNames() []string {
+	names := []string{"u", "w"}
+	return names[:sc.Vars]
+}
+
+// Fill is the deterministic content of one cell of a variable at a
+// version: a pure function of the scenario seed and the coordinates, so
+// the reference model and the real producers agree by construction and a
+// restaged block carries identical bytes.
+func (sc Scenario) Fill(v string, version int, p []int) float64 {
+	h := sc.Seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < len(v); i++ {
+		h = splitmix64(h ^ uint64(v[i]))
+	}
+	h = splitmix64(h ^ uint64(uint32(version)))
+	for _, x := range p {
+		h = splitmix64(h ^ uint64(uint32(x)))
+	}
+	// Keep the value integral so float64 equality is exact.
+	return float64(h % (1 << 30))
+}
+
+// FillRegion materializes a region's data row-major.
+func (sc Scenario) FillRegion(v string, version int, region geometry.BBox) []float64 {
+	data := make([]float64, region.Volume())
+	i := 0
+	region.Each(func(p geometry.Point) {
+		data[i] = sc.Fill(v, version, p)
+		i++
+	})
+	return data
+}
+
+// Validate checks the scenario's internal consistency: constructible
+// decompositions, task counts that fit the machine, and mode/policy
+// pairings the framework defines.
+func (sc Scenario) Validate() error {
+	if sc.Nodes < 1 || sc.CoresPerNode < 1 {
+		return fmt.Errorf("genwf: machine %dx%d", sc.Nodes, sc.CoresPerNode)
+	}
+	if len(sc.Domain) < 1 || len(sc.Domain) > 3 {
+		return fmt.Errorf("genwf: domain rank %d", len(sc.Domain))
+	}
+	for d, ext := range sc.Domain {
+		if ext < 1 {
+			return fmt.Errorf("genwf: domain[%d] = %d", d, ext)
+		}
+	}
+	if _, err := sfc.CurveForDomain(sc.Domain); err != nil {
+		return fmt.Errorf("genwf: %w", err)
+	}
+	prod, err := sc.ProdDecomp()
+	if err != nil {
+		return err
+	}
+	cons, err := sc.ConsDecomp()
+	if err != nil {
+		return err
+	}
+	cores := sc.Nodes * sc.CoresPerNode
+	np, nc := prod.NumTasks(), cons.NumTasks()
+	if sc.Sequential {
+		if np > cores || nc > cores {
+			return fmt.Errorf("genwf: %d/%d tasks exceed %d cores", np, nc, cores)
+		}
+	} else if np+nc > cores {
+		return fmt.Errorf("genwf: %d tasks exceed %d cores", np+nc, cores)
+	}
+	if sc.Vars < 1 || sc.Vars > 2 {
+		return fmt.Errorf("genwf: vars = %d", sc.Vars)
+	}
+	if sc.Ghost < 0 || sc.Versions < 1 || sc.SpanCache < 0 || sc.PullWorkers < 0 {
+		return fmt.Errorf("genwf: negative tuning field")
+	}
+	switch sc.Mapping {
+	case ServerDataCentric:
+		if sc.Sequential {
+			return fmt.Errorf("genwf: server-data-centric maps concurrent bundles only")
+		}
+	case ClientDataCentric:
+		if !sc.Sequential {
+			return fmt.Errorf("genwf: client-data-centric maps sequential consumers only")
+		}
+	case Consecutive, RoundRobin:
+	default:
+		return fmt.Errorf("genwf: unknown mapping %d", int(sc.Mapping))
+	}
+	if sc.Restage && (!sc.Sequential || sc.Versions != 1) {
+		return fmt.Errorf("genwf: restage requires sequential single-version coupling")
+	}
+	if sc.Faults != "" && sc.Retry < 2 {
+		return fmt.Errorf("genwf: fault plan without a retry budget")
+	}
+	return nil
+}
+
+// rng is a splitmix64 sequence; the package avoids math/rand so scenario
+// derivation is stable across Go releases.
+type rng struct{ s uint64 }
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.s = splitmix64(r.s)
+	return r.s
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// pick returns one of the given ints.
+func (r *rng) pick(vals ...int) int { return vals[r.intn(len(vals))] }
+
+// Generate derives a valid scenario from a seed. The derivation is pure:
+// the same seed always yields the same scenario.
+func Generate(seed uint64) Scenario {
+	r := &rng{s: seed ^ 0xc0d5c0d5c0d5c0d5}
+	for attempt := 0; attempt < 100; attempt++ {
+		sc := generate(r, seed)
+		if sc.Validate() == nil {
+			return sc
+		}
+	}
+	// Pathological seed: fall back to the smallest interesting scenario.
+	return Scenario{
+		Seed: seed, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+		ProdKind: decomp.Blocked, ProdGrid: []int{2},
+		ConsKind: decomp.Blocked, ConsGrid: []int{2},
+		Vars: 1, Versions: 1, Mapping: Consecutive, Staged: true,
+		SpanCache: sfc.DefaultSpanCacheCapacity,
+	}
+}
+
+// generate draws one candidate scenario (possibly invalid: the caller
+// retries until Validate accepts).
+func generate(r *rng, seed uint64) Scenario {
+	dim := 1 + r.intn(3)
+	sc := Scenario{
+		Seed:         seed,
+		Nodes:        1 + r.intn(5),
+		CoresPerNode: 1 + r.intn(4),
+		Domain:       make([]int, dim),
+		Vars:         1,
+		Versions:     1 + r.intn(3),
+		PullWorkers:  r.pick(0, 1, 2, 4),
+		SpanCache:    r.pick(sfc.DefaultSpanCacheCapacity, sfc.DefaultSpanCacheCapacity, 0, 2),
+	}
+	for d := range sc.Domain {
+		sc.Domain[d] = 3 + r.intn(10)
+	}
+	if r.intn(4) == 0 {
+		sc.Vars = 2
+	}
+	sc.ProdKind, sc.ProdGrid, sc.ProdBlock = genDecomp(r, sc.Domain)
+	sc.ConsKind, sc.ConsGrid, sc.ConsBlock = genDecomp(r, sc.Domain)
+	sc.Ghost = r.pick(0, 0, 1, 2)
+	sc.Sequential = r.intn(2) == 0
+	if sc.Sequential {
+		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin), int(ClientDataCentric)))
+		sc.Restage = sc.Versions == 1 && r.intn(4) == 0
+	} else {
+		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin), int(ServerDataCentric)))
+		sc.Staged = r.intn(2) == 0
+	}
+	switch r.intn(3) {
+	case 0:
+		sc.Retry = 4
+		sc.Faults = genFaultPlan(r, sc.Retry)
+	case 1:
+		sc.Retry = 3
+	}
+	return sc
+}
+
+// genDecomp draws one decomposition spec over the domain.
+func genDecomp(r *rng, domain []int) (decomp.Kind, []int, []int) {
+	grid := make([]int, len(domain))
+	for d, ext := range domain {
+		max := 3
+		if ext < max {
+			max = ext
+		}
+		grid[d] = 1 + r.intn(max)
+	}
+	switch r.intn(4) {
+	case 0:
+		block := make([]int, len(domain))
+		for d := range block {
+			block[d] = 1 + r.intn(2)
+		}
+		return decomp.BlockCyclic, grid, block
+	case 1:
+		return decomp.Cyclic, grid, nil
+	default:
+		return decomp.Blocked, grid, nil
+	}
+}
+
+// genFaultPlan emits a recoverable fault-plan JSON: every error rule's
+// fire budget (max fires, or dark-window width) stays strictly below the
+// retry attempt budget, so no transfer or control RPC can exhaust its
+// retries — results must still be byte-identical to a fault-free run.
+func genFaultPlan(r *rng, retryAttempts int) string {
+	seed := r.next() % 10000
+	budget := retryAttempts - 1
+	var rules []string
+	switch r.intn(3) {
+	case 0:
+		rules = append(rules, fmt.Sprintf(
+			`{"op": "read", "mode": "drop", "prob": 0.2, "max": %d}`, budget))
+	case 1:
+		from := r.intn(4)
+		rules = append(rules, fmt.Sprintf(
+			`{"op": "read", "mode": "error", "from_op": %d, "to_op": %d}`, from, from+budget))
+	default:
+		rules = append(rules, fmt.Sprintf(
+			`{"op": "call", "mode": "error", "prob": 0.15, "max": %d}`, budget))
+	}
+	if r.intn(2) == 0 {
+		rules = append(rules, `{"op": "read", "mode": "delay", "delay_us": 5, "prob": 0.2, "max": 50}`)
+	}
+	return fmt.Sprintf(`{"seed": %d, "rules": [%s]}`, seed, strings.Join(rules, ", "))
+}
+
+// kindLiteral renders a decomp.Kind as the Go expression naming it.
+func kindLiteral(k decomp.Kind) string {
+	switch k {
+	case decomp.Blocked:
+		return "decomp.Blocked"
+	case decomp.Cyclic:
+		return "decomp.Cyclic"
+	case decomp.BlockCyclic:
+		return "decomp.BlockCyclic"
+	default:
+		return fmt.Sprintf("decomp.Kind(%d)", int(k))
+	}
+}
+
+// policyLiteral renders a Policy as the Go expression naming it.
+func policyLiteral(p Policy) string {
+	switch p {
+	case Consecutive:
+		return "genwf.Consecutive"
+	case RoundRobin:
+		return "genwf.RoundRobin"
+	case ServerDataCentric:
+		return "genwf.ServerDataCentric"
+	case ClientDataCentric:
+		return "genwf.ClientDataCentric"
+	default:
+		return fmt.Sprintf("genwf.Policy(%d)", int(p))
+	}
+}
+
+func intsLiteral(v []int) string {
+	if v == nil {
+		return "nil"
+	}
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[]int{" + strings.Join(parts, ", ") + "}"
+}
+
+// GoLiteral renders the scenario as a runnable Go composite literal
+// (imports: internal/genwf, internal/decomp). Pasting it into a test and
+// calling conformance.Run reproduces the exact failing run.
+func (sc Scenario) GoLiteral() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "genwf.Scenario{\n")
+	fmt.Fprintf(&b, "\tSeed: %#x, Nodes: %d, CoresPerNode: %d,\n", sc.Seed, sc.Nodes, sc.CoresPerNode)
+	fmt.Fprintf(&b, "\tDomain: %s, Sequential: %v,\n", intsLiteral(sc.Domain), sc.Sequential)
+	fmt.Fprintf(&b, "\tProdKind: %s, ProdGrid: %s, ProdBlock: %s,\n",
+		kindLiteral(sc.ProdKind), intsLiteral(sc.ProdGrid), intsLiteral(sc.ProdBlock))
+	fmt.Fprintf(&b, "\tConsKind: %s, ConsGrid: %s, ConsBlock: %s,\n",
+		kindLiteral(sc.ConsKind), intsLiteral(sc.ConsGrid), intsLiteral(sc.ConsBlock))
+	fmt.Fprintf(&b, "\tVars: %d, Ghost: %d, Versions: %d, Mapping: %s,\n",
+		sc.Vars, sc.Ghost, sc.Versions, policyLiteral(sc.Mapping))
+	fmt.Fprintf(&b, "\tPullWorkers: %d, SpanCache: %d, Staged: %v, Restage: %v,\n",
+		sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	fmt.Fprintf(&b, "\tFaults: %q, Retry: %d,\n", sc.Faults, sc.Retry)
+	fmt.Fprintf(&b, "}")
+	return b.String()
+}
+
+// DAG renders the scenario as a testdata/*.dag-style repro: the workflow
+// lines the framework's text parser understands, preceded by comment
+// lines carrying the full scenario so the repro is self-describing.
+func (sc Scenario) DAG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# conformance repro (seed %#x)\n", sc.Seed)
+	fmt.Fprintf(&b, "# machine: %d nodes x %d cores, domain %v\n", sc.Nodes, sc.CoresPerNode, sc.Domain)
+	fmt.Fprintf(&b, "# producer: %s grid=%v block=%v\n", sc.ProdKind, sc.ProdGrid, sc.ProdBlock)
+	fmt.Fprintf(&b, "# consumer: %s grid=%v block=%v ghost=%d\n", sc.ConsKind, sc.ConsGrid, sc.ConsBlock, sc.Ghost)
+	fmt.Fprintf(&b, "# vars=%d versions=%d mapping=%s workers=%d spancache=%d staged=%v restage=%v\n",
+		sc.Vars, sc.Versions, sc.Mapping, sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	if sc.Faults != "" {
+		fmt.Fprintf(&b, "# faults: %s (retry %d)\n", sc.Faults, sc.Retry)
+	}
+	fmt.Fprintf(&b, "APP_ID 1\nAPP_ID 2\n")
+	if sc.Sequential {
+		fmt.Fprintf(&b, "PARENT_APPID 1 CHILD_APPID 2\n")
+	} else {
+		fmt.Fprintf(&b, "BUNDLE 1 2\n")
+	}
+	return b.String()
+}
+
+// Clone deep-copies the scenario (the shrinker mutates candidate slices).
+func (sc Scenario) Clone() Scenario {
+	cp := sc
+	cp.Domain = append([]int(nil), sc.Domain...)
+	cp.ProdGrid = append([]int(nil), sc.ProdGrid...)
+	cp.ConsGrid = append([]int(nil), sc.ConsGrid...)
+	if sc.ProdBlock != nil {
+		cp.ProdBlock = append([]int(nil), sc.ProdBlock...)
+	}
+	if sc.ConsBlock != nil {
+		cp.ConsBlock = append([]int(nil), sc.ConsBlock...)
+	}
+	return cp
+}

@@ -12,6 +12,8 @@ package geometry
 import (
 	"fmt"
 	"strings"
+
+	"github.com/insitu/cods/internal/mutate"
 )
 
 // Point is an n-dimensional integer coordinate.
@@ -161,6 +163,9 @@ func (b BBox) Intersect(o BBox) (BBox, bool) {
 		if r.Min[d] >= r.Max[d] {
 			return BBox{Min: make(Point, b.Dim()), Max: make(Point, b.Dim())}, false
 		}
+	}
+	if mutate.Enabled(mutate.GeomIntersect) && r.Max[0] > r.Min[0]+1 {
+		r.Max[0]-- // seeded defect: off-by-one upper bound
 	}
 	return r, true
 }

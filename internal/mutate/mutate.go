@@ -1,0 +1,42 @@
+// Package mutate hosts the seeded-defect switchboard the conformance
+// harness uses to validate itself (DESIGN §5e). A handful of call sites in
+// geometry, sfc, cods and transport consult Enabled(name); in a normal
+// build Enabled is a constant false that the compiler erases, so the
+// production pipeline carries no mutation code at all. Building with
+//
+//	go test -tags conformance_mutations
+//
+// swaps in the environment-driven implementation (mutate_on.go): setting
+// CODS_MUTATION=<name> activates exactly one seeded bug, and the mutation
+// detection test asserts the conformance suite fails under every one of
+// them while passing with none active.
+package mutate
+
+// The seeded defect names. Each names one deliberate bug at one call site;
+// see the mutation detection test for the scenario that catches each.
+const (
+	// GeomIntersect shrinks every non-degenerate intersection by one cell
+	// along dimension 0 (the classic inclusive/exclusive bound slip).
+	GeomIntersect = "geom-intersect"
+	// SfcSpanSplit mangles the span decomposition of a region: the last
+	// span is dropped (or a lone span shortened), so DHT routing misses
+	// the tail of the linearized index range.
+	SfcSpanSplit = "sfc-span-split"
+	// DropCoalesce loses the last transfer of a coalesced communication
+	// schedule, as if the merge had swallowed a sub-box.
+	DropCoalesce = "drop-coalesce"
+	// StaleEpoch ignores the schedule-cache invalidation stamp, serving
+	// cached schedules that point at discarded or restaged owners.
+	StaleEpoch = "stale-epoch"
+	// SwapFlow records every fabric transfer with source and destination
+	// exchanged, corrupting the flow log while leaving totals intact.
+	SwapFlow = "swap-flow"
+	// NoRequery disables GetSequential's lookup re-query after an
+	// exhausted pull, so a healed owner is never found again.
+	NoRequery = "no-requery"
+)
+
+// Names lists every seeded defect, in a stable order.
+func Names() []string {
+	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery}
+}

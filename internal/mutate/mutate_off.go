@@ -1,0 +1,8 @@
+//go:build !conformance_mutations
+
+package mutate
+
+// Enabled reports whether the named seeded defect is active. In normal
+// builds no defect ever is; the constant false lets the compiler remove
+// the mutation branches entirely.
+func Enabled(string) bool { return false }

@@ -1,0 +1,10 @@
+//go:build conformance_mutations
+
+package mutate
+
+import "os"
+
+// Enabled reports whether the named seeded defect is active: it is when
+// the CODS_MUTATION environment variable names it. Reading the variable
+// per call lets one test process activate the defects one at a time.
+func Enabled(name string) bool { return os.Getenv("CODS_MUTATION") == name }

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/mutate"
 )
 
 // Span is a half-open interval [Start, End) of the 1-D linearized index
@@ -248,6 +249,13 @@ func (c *Curve) Spans(b geometry.BBox) []Span {
 	if !ok {
 		return nil
 	}
+	if mutate.Enabled(mutate.SfcSpanSplit) {
+		// Seeded defect: recompute uncached (never poison the LRU) and
+		// lose the tail of the span decomposition.
+		w := curveWalker{c: c, query: query, spans: make([]Span, 0, 64), x: make([]uint64, c.dim)}
+		w.walk(0, c.bits)
+		return mutateSpans(MergeSpans(w.spans))
+	}
 	key := spanKey{kind: kindHilbert, dim: c.dim, bits: c.bits, box: boxKey(query)}
 	if spans, ok := globalSpanCache.get(key); ok {
 		return spans
@@ -256,6 +264,18 @@ func (c *Curve) Spans(b geometry.BBox) []Span {
 	w.walk(0, c.bits)
 	spans := MergeSpans(w.spans)
 	globalSpanCache.put(key, spans)
+	return spans
+}
+
+// mutateSpans applies the sfc-span-split seeded defect: drop the last span,
+// or shorten a lone multi-index span by one.
+func mutateSpans(spans []Span) []Span {
+	if len(spans) > 1 {
+		return spans[:len(spans)-1]
+	}
+	if len(spans) == 1 && spans[0].End > spans[0].Start+1 {
+		spans[0].End--
+	}
 	return spans
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/mutate"
 	"github.com/insitu/cods/internal/obs"
 )
 
@@ -141,6 +142,9 @@ func (f *Fabric) medium(src, dst cluster.CoreID) cluster.Medium {
 // per-medium counters. It is safe for concurrent callers: the Metrics
 // object serializes internally and the fabric counters are atomic.
 func (f *Fabric) record(m Meter, src, dst cluster.CoreID, n int64) {
+	if mutate.Enabled(mutate.SwapFlow) {
+		src, dst = dst, src // seeded defect: flow endpoints reversed
+	}
 	md := f.medium(src, dst)
 	f.stats[md].bytes.Add(n)
 	f.stats[md].ops.Add(1)

@@ -1,0 +1,143 @@
+//go:build conformance_mutations
+
+package cods_test
+
+// Mutation check for the conformance harness (DESIGN §5e): with the
+// conformance_mutations build tag, internal/mutate seeds one defect per
+// CODS_MUTATION value into a different layer of the pipeline. Each
+// directed scenario below must pass with its mutation disabled and fail
+// with it enabled — proving the harness actually exercises the layer the
+// defect lives in. Run with:
+//
+//	go test -tags conformance_mutations -run TestMutationDetection .
+
+import (
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/conformance"
+	"github.com/insitu/cods/internal/decomp"
+	"github.com/insitu/cods/internal/genwf"
+	"github.com/insitu/cods/internal/mutate"
+	"github.com/insitu/cods/internal/sfc"
+)
+
+// mutationScenario returns the directed scenario detecting one seeded
+// defect. Randomized sweeps catch most of these too; the directed ones
+// make each detection deterministic.
+func mutationScenario(name string) genwf.Scenario {
+	switch name {
+	case mutate.GeomIntersect:
+		// Ghost halos make every sequential schedule intersect stored
+		// blocks with wider get regions; the clipped upper bound loses a
+		// row and the schedule no longer covers the region.
+		return genwf.Scenario{
+			Seed: 0xA, Nodes: 2, CoresPerNode: 2, Domain: []int{8, 8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2, 2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2, 2},
+			Vars: 1, Ghost: 1, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
+	case mutate.SfcSpanSplit:
+		// 1-D domain of 16 over 8 lookup nodes (two SFC indices each).
+		// The producer's second block [8,16) registers on nodes 4..7; the
+		// consumer's ghost region [0,9) queries — mutated to [0,8) — only
+		// nodes 0..3 and misses the entry entirely.
+		return genwf.Scenario{
+			Seed: 0xB, Nodes: 8, CoresPerNode: 1, Domain: []int{16},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 1, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
+	case mutate.DropCoalesce:
+		// One consumer pulling the whole domain from two producer blocks:
+		// a two-transfer schedule, so dropping the last transfer leaves
+		// half the cells zero.
+		return genwf.Scenario{
+			Seed: 0xC, Nodes: 2, CoresPerNode: 2, Domain: []int{16},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{1},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
+	case mutate.StaleEpoch:
+		// Restaging moves every block one node over; a schedule cache
+		// that ignores the invalidation stamp keeps pulling the old,
+		// unexposed buffer and blocks forever (caught by the watchdog).
+		return genwf.Scenario{
+			Seed: 0xD, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Restage: true,
+		}
+	case mutate.SwapFlow:
+		// Producers fill node 0, consumers node 1: all coupling flows
+		// cross 0 -> 1. Swapped endpoints keep every per-medium total
+		// identical — only the per-(src, dst) flow aggregation catches it.
+		return genwf.Scenario{
+			Seed: 0xE, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: false, Staged: true,
+			ProdKind: decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
+	case mutate.NoRequery:
+		// A single-transfer schedule under a fault window that outlasts
+		// the per-transfer retry budget (2 attempts, first 2 reads fail):
+		// only the requery path's fresh pull can succeed. Skipping it
+		// turns a recoverable fault into a failed get.
+		return genwf.Scenario{
+			Seed: 0xF, Nodes: 1, CoresPerNode: 1, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{1},
+			ConsKind: decomp.Blocked, ConsGrid: []int{1},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Faults: `{"seed": 1, "rules": [{"op": "read", "mode": "error", "from_op": 0, "to_op": 2}]}`,
+			Retry:  2,
+		}
+	default:
+		panic("unknown mutation " + name)
+	}
+}
+
+func TestMutationDetection(t *testing.T) {
+	for _, name := range mutate.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc := mutationScenario(name)
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("directed scenario invalid: %v", err)
+			}
+			opts := conformance.Options{Timeout: 10 * time.Second}
+			if name == mutate.StaleEpoch {
+				// Detection is a deliberate hang; keep the watchdog short.
+				opts.Timeout = 3 * time.Second
+			}
+
+			// Sanity: the scenario passes with the mutation disabled —
+			// what the suite detects is the defect, not the scenario.
+			if err := conformance.RunOpts(sc, opts); err != nil {
+				t.Fatalf("scenario fails even without the mutation: %v", err)
+			}
+
+			t.Setenv("CODS_MUTATION", name)
+			if !mutate.Enabled(name) {
+				t.Fatal("mutation hooks not compiled in (missing -tags conformance_mutations?)")
+			}
+			err := conformance.RunOpts(sc, opts)
+			if err == nil {
+				t.Fatalf("conformance suite did not detect seeded defect %q", name)
+			}
+			t.Logf("detected %q: %v", name, err)
+		})
+	}
+}
