@@ -1,0 +1,93 @@
+// Command codsnode serves one simulated node of a coupled-workflow machine
+// over TCP. A driver (codsrun -backend=tcp) launches one codsnode per
+// node; each child builds the full runtime for the shared machine shape —
+// transport fabric, CoDS space, lookup and lock services — but owns only
+// its own node's endpoint state, which it serves to the driver and to the
+// other children through the tcpnet wire protocol.
+//
+// The child prints one line to stdout once it accepts operations:
+//
+//	CODSNODE LISTEN <address>
+//
+// The driver scrapes that line, distributes the full address table to
+// every child, runs the workflow, collects each child's transfer
+// accounting, and asks the children to exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	cods "github.com/insitu/cods"
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/transport/tcpnet"
+)
+
+func main() {
+	var (
+		node       = flag.Int("node", -1, "node this process serves (required)")
+		nodes      = flag.Int("nodes", 0, "total nodes of the machine (required)")
+		cores      = flag.Int("cores", 0, "cores per node (required)")
+		domainSpec = flag.String("domain", "", "coupled domain size, e.g. 32x32x32 (required)")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		seed       = flag.Int64("seed", 1, "mapping seed; must match the driver")
+	)
+	flag.Parse()
+	if err := run(*node, *nodes, *cores, *domainSpec, *listen, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "codsnode: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(node, nodes, cores int, domainSpec, listen string, seed int64) error {
+	if node < 0 || nodes < 1 || cores < 1 || domainSpec == "" {
+		return fmt.Errorf("-node, -nodes, -cores and -domain are required")
+	}
+	domain, err := parseDomain(domainSpec)
+	if err != nil {
+		return err
+	}
+	fw, err := cods.New(cods.Config{Nodes: nodes, CoresPerNode: cores, Domain: domain, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fabric := fw.TransportFabric()
+	be, err := tcpnet.Serve(fabric, cluster.NodeID(node), listen, tcpnet.Config{})
+	if err != nil {
+		return err
+	}
+	defer be.Close()
+	// Handlers on this node (lookup inserts forwarding results, lock
+	// grants) may themselves target other nodes, so the child routes
+	// through the backend too. Installed before the address is announced:
+	// no operation can arrive while the fabric still routes everything
+	// locally.
+	fabric.SetBackend(be)
+	fmt.Printf("CODSNODE LISTEN %s\n", be.Addr(cluster.NodeID(node)))
+	<-be.Done()
+	return nil
+}
+
+func parseDomain(spec string) ([]int, error) {
+	var out []int
+	cur := 0
+	seen := false
+	for i := 0; i <= len(spec); i++ {
+		if i == len(spec) || spec[i] == 'x' {
+			if !seen {
+				return nil, fmt.Errorf("bad -domain %q", spec)
+			}
+			out = append(out, cur)
+			cur, seen = 0, false
+			continue
+		}
+		c := spec[i]
+		if c < '0' || c > '9' {
+			return nil, fmt.Errorf("bad -domain %q", spec)
+		}
+		cur = cur*10 + int(c-'0')
+		seen = true
+	}
+	return out, nil
+}

@@ -17,9 +17,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +33,7 @@ import (
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/mapping"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/transport/tcpnet"
 )
 
 type appFlags []string
@@ -54,6 +59,8 @@ type options struct {
 	retrySpec        string
 	taskRetry        int
 	taskRemap        bool
+	backend          string
+	codsnodePath     string
 }
 
 func main() {
@@ -76,6 +83,10 @@ func main() {
 		"attempts=4,base=200us,cap=50ms,jitter=0.2,deadline=5s")
 	flag.IntVar(&o.taskRetry, "task-retry", 0, "re-run a failed task up to this many attempts (0 disables)")
 	flag.BoolVar(&o.taskRemap, "task-remap", false, "remap retried tasks' data operations to a spare core")
+	flag.StringVar(&o.backend, "backend", "inproc", "transport backend: inproc (single process) or "+
+		"tcp (one codsnode child process per node, operations over loopback TCP)")
+	flag.StringVar(&o.codsnodePath, "codsnode", "", "path to the codsnode binary for -backend=tcp "+
+		"(default: next to this binary, then $PATH)")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-node task placement of every stage")
 	var appSpecs appFlags
 	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
@@ -179,6 +190,22 @@ func run(o options) error {
 	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain})
 	if err != nil {
 		return err
+	}
+
+	// Transport backend: with -backend=tcp one codsnode child process is
+	// launched per node and every data operation crosses real sockets.
+	var tcpBE *tcpnet.Backend
+	switch o.backend {
+	case "", "inproc":
+	case "tcp":
+		be, children, err := startTCPBackend(fw, o, domain)
+		if err != nil {
+			return err
+		}
+		tcpBE = be
+		defer stopTCPBackend(fw, be, children)
+	default:
+		return fmt.Errorf("unknown backend %q (want inproc or tcp)", o.backend)
 	}
 
 	// Fault injection and recovery knobs.
@@ -332,6 +359,13 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// Remote endpoint groups meter the transfers they execute; fold their
+	// accounting into the driver before any traffic is reported.
+	if tcpBE != nil {
+		if err := tcpBE.MergeRemoteStats(); err != nil {
+			return fmt.Errorf("collecting remote transfer stats: %w", err)
+		}
+	}
 	fmt.Printf("\nworkflow complete: %d bundles, %d tasks, policy %s\n",
 		rep.BundlesRun, rep.TasksRun, rep.Policy)
 	if plan != nil {
@@ -428,4 +462,118 @@ func ratio(a, b int64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+// findCodsnode locates the codsnode binary: the -codsnode flag, then next
+// to this executable, then $PATH.
+func findCodsnode(o options) (string, error) {
+	if o.codsnodePath != "" {
+		return o.codsnodePath, nil
+	}
+	if exe, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(exe), "codsnode")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("codsnode"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("-backend=tcp needs the codsnode binary (build cmd/codsnode and pass -codsnode or put it on $PATH)")
+}
+
+// startTCPBackend launches one codsnode child per node, collects their
+// listen addresses, distributes the address table so children can reach
+// each other, and installs the connected TCP backend on the framework's
+// fabric.
+func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backend, []*exec.Cmd, error) {
+	bin, err := findCodsnode(o)
+	if err != nil {
+		return nil, nil, err
+	}
+	dims := make([]string, len(domain))
+	for i, d := range domain {
+		dims[i] = strconv.Itoa(d)
+	}
+	domSpec := strings.Join(dims, "x")
+
+	var children []*exec.Cmd
+	fail := func(err error) (*tcpnet.Backend, []*exec.Cmd, error) {
+		for _, c := range children {
+			c.Process.Kill()
+			c.Wait()
+		}
+		return nil, nil, err
+	}
+	peers := make(map[cluster.NodeID]string, o.nodes)
+	for node := 0; node < o.nodes; node++ {
+		cmd := exec.Command(bin,
+			"-node", strconv.Itoa(node),
+			"-nodes", strconv.Itoa(o.nodes),
+			"-cores", strconv.Itoa(o.cores),
+			"-domain", domSpec)
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("starting codsnode %d: %w", node, err))
+		}
+		children = append(children, cmd)
+		addr, err := scrapeListenAddr(stdout)
+		if err != nil {
+			return fail(fmt.Errorf("codsnode %d: %w", node, err))
+		}
+		go io.Copy(io.Discard, stdout)
+		peers[cluster.NodeID(node)] = addr
+		fmt.Printf("codsnode %d serving at %s\n", node, addr)
+	}
+	be, err := tcpnet.Connect(fw.TransportFabric(), peers, tcpnet.Config{})
+	if err != nil {
+		return fail(err)
+	}
+	if err := be.PushPeers(); err != nil {
+		be.Close()
+		return fail(fmt.Errorf("distributing peer addresses: %w", err))
+	}
+	fw.TransportFabric().SetBackend(be)
+	return be, children, nil
+}
+
+// scrapeListenAddr reads the child's stdout until its CODSNODE LISTEN
+// announcement; EOF first means the child died before serving.
+func scrapeListenAddr(r io.Reader) (string, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "CODSNODE LISTEN "); ok {
+			return strings.TrimSpace(addr), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("exited before announcing a listen address")
+}
+
+// stopTCPBackend restores in-process routing, asks every child to exit
+// and reaps them, killing any straggler after a grace period.
+func stopTCPBackend(fw *cods.Framework, be *tcpnet.Backend, children []*exec.Cmd) {
+	fw.TransportFabric().SetBackend(nil)
+	be.ShutdownPeers()
+	be.Close()
+	for _, c := range children {
+		c := c
+		done := make(chan struct{})
+		go func() {
+			c.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			c.Process.Kill()
+			<-done
+		}
+	}
 }

@@ -371,3 +371,8 @@ func (f *Framework) SetTaskRetry(p TaskRetryPolicy) { f.server.SetTaskRetry(p) }
 // FaultsInjected returns the total number of error faults injected into
 // the fabric since the framework was created, across all installed plans.
 func (f *Framework) FaultsInjected() int64 { return f.server.Fabric().FaultsInjected() }
+
+// TransportFabric exposes the framework's transport fabric, so a caller
+// can install an alternative data-movement backend (transport.SetBackend)
+// — e.g. the TCP backend that routes operations to codsnode processes.
+func (f *Framework) TransportFabric() *transport.Fabric { return f.server.Fabric() }

@@ -24,14 +24,16 @@ func conformanceSeeds(t *testing.T, full int) uint64 {
 // TestConformanceSweep runs randomized scenarios — sequential and
 // concurrent coupling, every mapping policy, halos, multiple versions,
 // restaging, fault plans — and requires byte identity with the reference
-// model plus every cross-layer invariant. On failure the scenario is
-// shrunk to a minimal reproduction before reporting.
+// model plus every cross-layer invariant. Every scenario runs on both
+// transport backends (in-process and TCP loopback) and must produce
+// byte-identical gets and equal metered traffic on each. On failure the
+// scenario is shrunk to a minimal reproduction before reporting.
 func TestConformanceSweep(t *testing.T) {
 	n := conformanceSeeds(t, 24)
 	for seed := uint64(1); seed <= n; seed++ {
 		sc := genwf.Generate(seed)
-		if err := conformance.Run(sc); err != nil {
-			reportShrunk(t, sc, err)
+		if err := conformance.RunCross(sc); err != nil {
+			reportShrunkCross(t, sc, err)
 		}
 	}
 }
@@ -69,6 +71,18 @@ func reportShrunk(t *testing.T, sc genwf.Scenario, err error) {
 	}
 	min := genwf.Shrink(sc, fails)
 	t.Fatalf("conformance failure: %v\n\nminimal failing scenario:\n%s\n\nrepro DAG:\n%s", err, min.GoLiteral(), min.DAG())
+}
+
+// reportShrunkCross is reportShrunk with the cross-backend runner as the
+// shrinking predicate, so failures only one backend exhibits keep
+// reproducing while the scenario is minimized.
+func reportShrunkCross(t *testing.T, sc genwf.Scenario, err error) {
+	t.Helper()
+	fails := func(c genwf.Scenario) bool {
+		return conformance.RunCrossOpts(c, conformance.Options{Timeout: 20 * time.Second}) != nil
+	}
+	min := genwf.Shrink(sc, fails)
+	t.Fatalf("cross-backend conformance failure: %v\n\nminimal failing scenario:\n%s\n\nrepro DAG:\n%s", err, min.GoLiteral(), min.DAG())
 }
 
 // TestConformanceShrinkOnForcedFailure forces a deterministic failure

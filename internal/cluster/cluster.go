@@ -315,6 +315,61 @@ func (mt *Metrics) Flows(phasePrefix string) []Flow {
 	return out
 }
 
+// AppClassBytes is one per-(application, class) row of a MetricsSnapshot,
+// split by medium.
+type AppClassBytes struct {
+	App   int
+	Class Class
+	Bytes [2]int64
+}
+
+// MetricsSnapshot is a serializable copy of a Metrics, used to ship the
+// counters a remote endpoint group (a codsnode process) recorded back to
+// the driver. All fields are exported so the snapshot crosses process
+// boundaries through the wire codec.
+type MetricsSnapshot struct {
+	Bytes  [3][2]int64
+	PerApp []AppClassBytes
+	Flows  []Flow
+}
+
+// Snapshot copies the full metric state.
+func (mt *Metrics) Snapshot() MetricsSnapshot {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	s := MetricsSnapshot{Bytes: mt.bytes}
+	for k, e := range mt.perApp {
+		s.PerApp = append(s.PerApp, AppClassBytes{App: k.app, Class: k.class, Bytes: *e})
+	}
+	s.Flows = append(s.Flows, mt.flows...)
+	return s
+}
+
+// Merge folds a snapshot taken elsewhere into this metric set. Transfers
+// executed by distinct processes are disjoint, so merging every child's
+// snapshot into the driver's metrics yields the same totals an in-process
+// run records.
+func (mt *Metrics) Merge(s MetricsSnapshot) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for class := range s.Bytes {
+		for medium := range s.Bytes[class] {
+			mt.bytes[class][medium] += s.Bytes[class][medium]
+		}
+	}
+	for _, row := range s.PerApp {
+		key := appClass{app: row.App, class: row.Class}
+		e := mt.perApp[key]
+		if e == nil {
+			e = new([2]int64)
+			mt.perApp[key] = e
+		}
+		e[0] += row.Bytes[0]
+		e[1] += row.Bytes[1]
+	}
+	mt.flows = append(mt.flows, s.Flows...)
+}
+
 // Reset clears all counters and flows.
 func (mt *Metrics) Reset() {
 	mt.mu.Lock()

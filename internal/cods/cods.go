@@ -72,6 +72,12 @@ type StoredObject struct {
 	Data   []float64
 }
 
+func init() {
+	// Stored blocks are exposed as *StoredObject and must survive the wire
+	// codec when a TCP backend ships them between processes.
+	transport.RegisterWireType(&StoredObject{})
+}
+
 // Space is the machine-wide CoDS instance.
 type Space struct {
 	fabric *transport.Fabric

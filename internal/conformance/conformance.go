@@ -25,6 +25,7 @@ import (
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
+	"github.com/insitu/cods/internal/transport/tcpnet"
 )
 
 // Application IDs of the two coupled applications of every scenario.
@@ -45,6 +46,16 @@ type Options struct {
 	// tests use it to exercise the minimization machinery on a failure
 	// every scenario exhibits.
 	CorruptGet bool
+
+	// Backend selects the transport backend: "" or "inproc" keeps every
+	// operation in-process; "tcp" installs the loopback TCP backend, so
+	// every cross-node operation of the scenario makes a real round trip
+	// through sockets and the wire codec.
+	Backend string
+
+	// stats, when non-nil, collects the run's observable outcome — get
+	// digests and metered byte totals — for cross-backend comparison.
+	stats *RunStats
 }
 
 // Run executes the scenario and returns nil when the real pipeline agrees
@@ -96,6 +107,21 @@ func run(sc genwf.Scenario, opts Options) error {
 		return err
 	}
 	fabric := transport.NewFabric(machine)
+	switch opts.Backend {
+	case "", "inproc":
+	case "tcp":
+		be, err := tcpnet.NewLoopback(fabric, tcpnet.Config{Retry: retry.Default(), IOTimeout: 10 * time.Second})
+		if err != nil {
+			return fmt.Errorf("conformance: tcp loopback backend: %w", err)
+		}
+		fabric.SetBackend(be)
+		defer func() {
+			fabric.SetBackend(nil)
+			be.Close()
+		}()
+	default:
+		return fmt.Errorf("conformance: unknown backend %q", opts.Backend)
+	}
 	space, err := cods.NewSpace(fabric, sc.DomainBox())
 	if err != nil {
 		return err
@@ -140,6 +166,16 @@ func run(sc genwf.Scenario, opts Options) error {
 	}
 	if err != nil {
 		return err
+	}
+	if opts.stats != nil {
+		opts.stats.MediumBytes = [2]int64{
+			fabric.MediumBytes(cluster.SharedMemory),
+			fabric.MediumBytes(cluster.Network),
+		}
+		opts.stats.InterApp = [2]int64{
+			machine.Metrics().Bytes(cluster.InterApp, cluster.SharedMemory),
+			machine.Metrics().Bytes(cluster.InterApp, cluster.Network),
+		}
 	}
 	return nil
 }
@@ -247,6 +283,9 @@ func consumeRound(sc genwf.Scenario, opts Options, consumers []*consumer, model 
 					}
 					if opts.CorruptGet && round == 0 && c.rank == 0 && ri == 0 && version == 0 && v == sc.VarNames()[0] {
 						got[0]++ // forced divergence for the shrinking tests
+					}
+					if opts.stats != nil {
+						opts.stats.recordGet(getKey(c.rank, v, version, round, region), got)
 					}
 					want, err := model.Get(v, version, region)
 					if err != nil {

@@ -86,6 +86,14 @@ type queryReq struct {
 
 type queryResp struct{ Entries []Entry }
 
+func init() {
+	// DHT RPC payloads cross process boundaries under a TCP backend.
+	transport.RegisterWireType(insertReq{})
+	transport.RegisterWireType(removeReq{})
+	transport.RegisterWireType(queryReq{})
+	transport.RegisterWireType(queryResp{})
+}
+
 // tableShards is the number of independently locked shards of one node's
 // location table. Entries are sharded by variable name, so inserts,
 // removes and queries for different variables on the same DHT core do not

@@ -74,6 +74,13 @@ type acquireResp struct {
 	Granted bool
 }
 
+func init() {
+	// Lock RPC payloads cross process boundaries under a TCP backend.
+	transport.RegisterWireType(acquireReq{})
+	transport.RegisterWireType(releaseReq{})
+	transport.RegisterWireType(acquireResp{})
+}
+
 // Service is the lock manager.
 type Service struct {
 	fabric *transport.Fabric

@@ -34,9 +34,17 @@ const (
 	// NoRequery disables GetSequential's lookup re-query after an
 	// exhausted pull, so a healed owner is never found again.
 	NoRequery = "no-requery"
+	// TCPTruncFrame truncates every encoded TCP wire frame by one byte
+	// before the length prefix is computed, so the peer's strict decoder
+	// rejects the frame — the classic short-write bug.
+	TCPTruncFrame = "tcp-trunc-frame"
+	// TCPMeterClass swaps the InterApp and Control meter classes on the
+	// TCP wire, so the serving side books coupled data as control traffic.
+	TCPMeterClass = "tcp-meter-class"
 )
 
 // Names lists every seeded defect, in a stable order.
 func Names() []string {
-	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery}
+	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
+		TCPTruncFrame, TCPMeterClass}
 }

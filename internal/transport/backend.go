@@ -1,0 +1,335 @@
+package transport
+
+// The fabric's data movement is pluggable: every choke point — Send/Recv
+// messaging, the one-sided Read, the RPC Call, and the buffer-exposure
+// state ops — funnels through a Backend once the op is determined to be
+// remote. The default backend is the in-process one (this file); the
+// internal/transport/tcpnet package provides a real TCP implementation
+// that runs each simulated node as its own endpoint group over sockets
+// (DESIGN §5f). The Local* methods on Fabric are the executing side of
+// every operation: they contain the metering, so an op records its bytes
+// exactly once, in the process that actually moves the data.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+// Backend moves data between endpoints on behalf of the fabric. Initiating
+// endpoints call it only for operations Remote reports as crossing the
+// process or node boundary; the backend is then responsible for executing
+// the operation where the target endpoint's state lives (inbox, exposed
+// buffers, RPC handlers) and for metering it there, via the Local* methods
+// of the owning fabric.
+type Backend interface {
+	// Name identifies the backend ("inproc", "tcp") in logs and reports.
+	Name() string
+	// Remote reports whether an operation initiated by core initiator
+	// against the state or data of core target must traverse the backend.
+	Remote(initiator, target cluster.CoreID) bool
+	// Send delivers a tagged message into dst's inbox.
+	Send(src, dst cluster.CoreID, tag uint64, payload []byte, m Meter) error
+	// Recv blocks until a message matching (src, tag) is available in on's
+	// inbox; src may be AnySource.
+	Recv(on, src cluster.CoreID, tag uint64) (Message, error)
+	// Read pulls the buffer key exposed by owner on behalf of reader. With
+	// wait it blocks until the buffer is published; without, ok reports
+	// whether it was.
+	Read(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, wait bool) (payload any, ok bool, err error)
+	// Call performs a synchronous RPC against a service on dst.
+	Call(src, dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error)
+	// Expose / Unexpose / Exposed manage owner's one-sided buffers.
+	Expose(owner cluster.CoreID, key BufKey, payload any) error
+	Unexpose(owner cluster.CoreID, key BufKey) error
+	Exposed(owner cluster.CoreID, key BufKey) (bool, error)
+	// Close releases the backend's resources (connections, listeners).
+	Close() error
+}
+
+// Routing modes. routeLocal is the fast path: no backend consulted at all.
+const (
+	routeLocal  int32 = iota // in-process backend, ops execute directly
+	routeRemote              // consult Backend.Remote per operation
+	routeAll                 // force every op through the backend interface
+)
+
+// SetBackend installs a network backend; nil restores the in-process one.
+// It must be called before any endpoint traffic starts — installation is
+// not synchronized with in-flight operations.
+func (f *Fabric) SetBackend(b Backend) {
+	if b == nil {
+		f.backend = localBackend{f}
+		f.routeMode.Store(routeLocal)
+		return
+	}
+	f.backend = b
+	f.routeMode.Store(routeRemote)
+}
+
+// Backend returns the installed backend (the in-process one by default).
+func (f *Fabric) Backend() Backend { return f.backend }
+
+// ForceBackendRouting routes every operation through the Backend interface
+// even when it would execute locally. The in-process backend is semantics-
+// preserving, so forcing it on measures exactly the indirection cost of
+// the interface — cmd/benchguard holds it under its budget.
+func (f *Fabric) ForceBackendRouting(on bool) {
+	switch {
+	case on:
+		f.routeMode.Store(routeAll)
+	default:
+		if _, local := f.backend.(localBackend); local {
+			f.routeMode.Store(routeLocal)
+		} else {
+			f.routeMode.Store(routeRemote)
+		}
+	}
+}
+
+// routed reports whether an operation from initiator against target must
+// go through the backend. One atomic load on the fast path.
+func (f *Fabric) routed(initiator, target cluster.CoreID) bool {
+	switch f.routeMode.Load() {
+	case routeLocal:
+		return false
+	case routeAll:
+		return true
+	default:
+		return f.backend.Remote(initiator, target)
+	}
+}
+
+// LocalSend is the executing side of Send: it meters the transfer and
+// appends the message to dst's inbox in this process.
+func (f *Fabric) LocalSend(src, dst cluster.CoreID, tag uint64, payload []byte, m Meter) error {
+	f.record(m, src, dst, int64(len(payload)))
+	de := f.endpoints[int(dst)]
+	de.mu.Lock()
+	defer de.mu.Unlock()
+	if de.closed {
+		return fmt.Errorf("transport: sending to endpoint %d: %w", dst, ErrEndpointClosed)
+	}
+	de.inbox = append(de.inbox, Message{Src: src, Tag: tag, Payload: payload})
+	de.inboxCond.Broadcast()
+	return nil
+}
+
+// LocalRecv is the executing side of Recv: it blocks on the inbox of the
+// endpoint on, which must live in this process.
+func (f *Fabric) LocalRecv(on, src cluster.CoreID, tag uint64) (Message, error) {
+	ep := f.endpoints[int(on)]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		for i, msg := range ep.inbox {
+			if (src == AnySource || msg.Src == src) && msg.Tag == tag {
+				ep.inbox = append(ep.inbox[:i], ep.inbox[i+1:]...)
+				return msg, nil
+			}
+		}
+		if ep.closed {
+			return Message{}, fmt.Errorf("transport: receiving on endpoint %d: %w", on, ErrEndpointClosed)
+		}
+		ep.inboxCond.Wait()
+	}
+}
+
+// LocalRead is the executing side of Read/TryRead against an owner endpoint
+// in this process: it waits for the buffer (when wait), sleeps the
+// simulated read latency, meters the pull and returns the exposed payload
+// for the reader to copy from.
+func (f *Fabric) LocalRead(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, wait bool) (any, bool, error) {
+	oe := f.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	for {
+		if oe.exportClosed {
+			oe.exportMu.Unlock()
+			return nil, false, fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
+		}
+		if e, ok := oe.exports[key]; ok {
+			payload := e.payload
+			oe.exportMu.Unlock()
+			if wait {
+				// TryRead is a cheap existence probe; only the blocking
+				// pull models the RDMA round-trip latency.
+				f.sleepReadLatency(f.medium(owner, reader))
+			}
+			f.record(m, owner, reader, n)
+			return payload, true, nil
+		}
+		if !wait {
+			oe.exportMu.Unlock()
+			return nil, false, nil
+		}
+		oe.exportCond.Wait()
+	}
+}
+
+// LocalCall is the executing side of Call against a dst endpoint in this
+// process. The handler runs in its own goroutine so that closing the
+// serving endpoint mid-call unblocks the caller with ErrEndpointClosed
+// instead of hanging on a stuck handler.
+func (f *Fabric) LocalCall(src, dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error) {
+	de := f.endpoints[int(dst)]
+	de.mu.Lock()
+	closed := de.closed
+	done := de.done
+	de.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("transport: calling %q on endpoint %d: %w", service, dst, ErrEndpointClosed)
+	}
+	handlerMu.Lock()
+	h := de.handlers[service]
+	handlerMu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("transport: no handler %q on core %d", service, dst)
+	}
+	// Request travels src -> dst, response dst -> src.
+	f.record(m, src, dst, reqBytes)
+	type callResult struct {
+		resp any
+		err  error
+	}
+	resc := make(chan callResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				resc <- callResult{err: fmt.Errorf("transport: handler %q on core %d panicked: %v", service, dst, r)}
+			}
+		}()
+		resp, err := h(src, request)
+		resc <- callResult{resp: resp, err: err}
+	}()
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			return nil, r.err
+		}
+		f.record(m, dst, src, respBytes)
+		return r.resp, nil
+	case <-done:
+		return nil, fmt.Errorf("transport: calling %q on endpoint %d: %w", service, dst, ErrEndpointClosed)
+	}
+}
+
+// LocalExpose publishes a buffer on an owner endpoint in this process.
+func (f *Fabric) LocalExpose(owner cluster.CoreID, key BufKey, payload any) error {
+	oe := f.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	defer oe.exportMu.Unlock()
+	if _, ok := oe.exports[key]; ok {
+		return fmt.Errorf("transport: buffer %v already exposed on core %d", key, owner)
+	}
+	oe.exports[key] = &export{payload: payload}
+	oe.exportCond.Broadcast()
+	return nil
+}
+
+// LocalUnexpose withdraws a buffer published on an owner endpoint in this
+// process.
+func (f *Fabric) LocalUnexpose(owner cluster.CoreID, key BufKey) error {
+	oe := f.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	defer oe.exportMu.Unlock()
+	delete(oe.exports, key)
+	return nil
+}
+
+// LocalExposed reports whether key is published on an owner endpoint in
+// this process.
+func (f *Fabric) LocalExposed(owner cluster.CoreID, key BufKey) (bool, error) {
+	oe := f.endpoints[int(owner)]
+	oe.exportMu.Lock()
+	defer oe.exportMu.Unlock()
+	_, ok := oe.exports[key]
+	return ok, nil
+}
+
+// localBackend adapts the fabric's own Local* execution to the Backend
+// interface. Nothing is ever Remote, so it is only exercised under
+// ForceBackendRouting — where it must be observationally identical to the
+// direct path.
+type localBackend struct{ f *Fabric }
+
+func (b localBackend) Name() string                                 { return "inproc" }
+func (b localBackend) Remote(initiator, target cluster.CoreID) bool { return false }
+
+func (b localBackend) Send(src, dst cluster.CoreID, tag uint64, payload []byte, m Meter) error {
+	return b.f.LocalSend(src, dst, tag, payload, m)
+}
+
+func (b localBackend) Recv(on, src cluster.CoreID, tag uint64) (Message, error) {
+	return b.f.LocalRecv(on, src, tag)
+}
+
+func (b localBackend) Read(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, wait bool) (any, bool, error) {
+	return b.f.LocalRead(reader, owner, key, m, n, wait)
+}
+
+func (b localBackend) Call(src, dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error) {
+	return b.f.LocalCall(src, dst, service, request, m, reqBytes, respBytes)
+}
+
+func (b localBackend) Expose(owner cluster.CoreID, key BufKey, payload any) error {
+	return b.f.LocalExpose(owner, key, payload)
+}
+
+func (b localBackend) Unexpose(owner cluster.CoreID, key BufKey) error {
+	return b.f.LocalUnexpose(owner, key)
+}
+
+func (b localBackend) Exposed(owner cluster.CoreID, key BufKey) (bool, error) {
+	return b.f.LocalExposed(owner, key)
+}
+
+func (b localBackend) Close() error { return nil }
+
+// MergeMediumStats folds the per-medium transfer totals recorded by
+// another process's fabric (a codsnode child) into this one, mirroring
+// them into the obs registry exactly the way record does, so driver-side
+// reports reconcile across processes. The per-transfer size histogram is
+// not merged — it stays a per-process distribution.
+func (f *Fabric) MergeMediumStats(shmBytes, shmOps, netBytes, netOps int64) {
+	f.stats[cluster.SharedMemory].bytes.Add(shmBytes)
+	f.stats[cluster.SharedMemory].ops.Add(shmOps)
+	f.stats[cluster.Network].bytes.Add(netBytes)
+	f.stats[cluster.Network].ops.Add(netOps)
+	obsBytes[cluster.SharedMemory].Add(shmBytes)
+	obsOps[cluster.SharedMemory].Add(shmOps)
+	obsBytes[cluster.Network].Add(netBytes)
+	obsOps[cluster.Network].Add(netOps)
+}
+
+// RegisterWireType registers a payload type crossing process boundaries
+// through a network backend (RPC requests/responses, exposed buffers).
+// Packages register their wire types from init, mirroring gob semantics:
+// concrete types carried inside `any` values must be known to both sides.
+func RegisterWireType(v any) { gob.Register(v) }
+
+// EncodePayload serializes an `any` payload for the wire. A nil payload
+// encodes to an empty buffer.
+func EncodePayload(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("transport: encoding payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload; empty input decodes to nil.
+func DecodePayload(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("transport: decoding payload: %w", err)
+	}
+	return v, nil
+}

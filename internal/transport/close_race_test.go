@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+// TestCloseDuringCall pins the Close-vs-Call contract: closing the serving
+// endpoint while a handler is still running must fail the in-flight Call
+// with ErrEndpointClosed instead of leaving the caller blocked on a
+// response that will never come.
+func TestCloseDuringCall(t *testing.T) {
+	f := fabric(t, 1, 2)
+	server, client := f.Endpoint(0), f.Endpoint(1)
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	server.RegisterHandler("stuck", func(src cluster.CoreID, req any) (any, error) {
+		close(entered)
+		<-release
+		return "late", nil
+	})
+
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := client.Call(0, "stuck", nil, testMeter, 8, 8)
+		callErr <- err
+	}()
+
+	<-entered
+	server.Close()
+
+	select {
+	case err := <-callErr:
+		if !errors.Is(err, ErrEndpointClosed) {
+			t.Fatalf("got %v, want ErrEndpointClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call hung after Close of the serving endpoint")
+	}
+	close(release)
+}
+
+// TestCloseCallRace hammers concurrent Calls against a concurrent Close:
+// every call must either succeed or fail with ErrEndpointClosed — no
+// hangs, no other errors — and the race detector must stay quiet.
+func TestCloseCallRace(t *testing.T) {
+	f := fabric(t, 1, 4)
+	server := f.Endpoint(0)
+	server.RegisterHandler("echo", func(src cluster.CoreID, req any) (any, error) {
+		return req, nil
+	})
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*16)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			ep := f.Endpoint(cluster.CoreID(1 + core%3))
+			for j := 0; j < 16; j++ {
+				if _, err := ep.Call(0, "echo", j, testMeter, 8, 8); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	server.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrEndpointClosed) {
+			t.Fatalf("unexpected error under Close race: %v", err)
+		}
+	}
+}

@@ -1,0 +1,805 @@
+package tcpnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/retry"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// Config tunes a TCP backend.
+type Config struct {
+	// Retry governs dialing a peer: attempts, backoff and the deadline
+	// each connection attempt (dial + handshake) must finish within. The
+	// zero value means a single attempt with no deadline.
+	Retry retry.Policy
+	// IOTimeout bounds each frame write and each non-blocking response
+	// read on an established connection; 0 falls back to Retry.Deadline
+	// (and to none when that is 0 too). Blocking operations — a Recv, a
+	// waiting Read — legitimately block until a peer produces data, so
+	// their response reads never carry a deadline; the layers above bound
+	// them (the conformance watchdog, task-level retry deadlines).
+	IOTimeout time.Duration
+	// MaxFrame bounds a frame body (default 64 MiB).
+	MaxFrame int
+}
+
+// Backend is a transport.Backend moving operations between simulated
+// nodes over TCP. A process owns the endpoint state of zero or more
+// nodes: a codsnode child owns one, the conformance loopback backend owns
+// all of them (cross-node traffic still travels through real sockets),
+// and a driver owns none. Each owned node has its own listener; every
+// accepted connection is served by its own goroutine, which executes
+// operations against the fabric's Local* methods — metering therefore
+// happens in the process that moves the bytes.
+type Backend struct {
+	fabric  *transport.Fabric
+	machine *cluster.Machine
+	cfg     Config
+	owned   []bool
+
+	mu          sync.Mutex
+	addrs       map[cluster.NodeID]string
+	pools       map[cluster.NodeID][]net.Conn
+	serverConns map[net.Conn]bool
+
+	listeners []net.Listener
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+
+	shutdownOnce sync.Once
+	shutdownCh   chan struct{}
+}
+
+func newBackend(f *transport.Fabric, cfg Config) *Backend {
+	if cfg.Retry == (retry.Policy{}) {
+		// An unconfigured backend still gets bounded dials: the default
+		// policy's deadline also becomes the per-frame IO timeout.
+		cfg.Retry = retry.Default()
+	}
+	return &Backend{
+		fabric:      f,
+		machine:     f.Machine(),
+		cfg:         cfg,
+		owned:       make([]bool, f.Machine().NumNodes()),
+		addrs:       make(map[cluster.NodeID]string),
+		pools:       make(map[cluster.NodeID][]net.Conn),
+		serverConns: make(map[net.Conn]bool),
+		shutdownCh:  make(chan struct{}),
+	}
+}
+
+// NewLoopback serves every node of the machine from this process, each on
+// its own 127.0.0.1 listener. Same-node operations stay in-process;
+// cross-node operations make a full round trip through the sockets. The
+// conformance harness uses it as the TCP dimension of every scenario.
+func NewLoopback(f *transport.Fabric, cfg Config) (*Backend, error) {
+	b := newBackend(f, cfg)
+	for node := range b.owned {
+		if err := b.listen(cluster.NodeID(node), "127.0.0.1:0"); err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Serve owns a single node of the machine, listening on addr — the
+// codsnode child configuration. Peer addresses arrive later through an
+// opPeers frame (SetPeers).
+func Serve(f *transport.Fabric, node cluster.NodeID, addr string, cfg Config) (*Backend, error) {
+	b := newBackend(f, cfg)
+	if int(node) < 0 || int(node) >= len(b.owned) {
+		return nil, fmt.Errorf("tcpnet: node %d out of range", node)
+	}
+	if err := b.listen(node, addr); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Connect owns no node: every operation is remote — the driver
+// configuration of codsrun -backend=tcp. peers maps each node to the
+// address its codsnode child listens on.
+func Connect(f *transport.Fabric, peers map[cluster.NodeID]string, cfg Config) (*Backend, error) {
+	b := newBackend(f, cfg)
+	for node := range b.owned {
+		if _, ok := peers[cluster.NodeID(node)]; !ok {
+			b.Close()
+			return nil, fmt.Errorf("tcpnet: no peer address for node %d", node)
+		}
+	}
+	for node, addr := range peers {
+		b.addrs[node] = addr
+	}
+	return b, nil
+}
+
+func (b *Backend) listen(node cluster.NodeID, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tcpnet: listening for node %d: %w", node, err)
+	}
+	b.owned[int(node)] = true
+	b.addrs[node] = ln.Addr().String()
+	b.listeners = append(b.listeners, ln)
+	b.wg.Add(1)
+	go b.acceptLoop(ln)
+	return nil
+}
+
+// Name implements transport.Backend.
+func (b *Backend) Name() string { return "tcp" }
+
+// Addr returns the listen address of an owned node ("" when not owned).
+func (b *Backend) Addr(node cluster.NodeID) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.owned[int(node)] {
+		return ""
+	}
+	return b.addrs[node]
+}
+
+// SetPeers installs the addresses of nodes served elsewhere, so handlers
+// running in this process (a lock grant, a forwarded op) can reach them.
+func (b *Backend) SetPeers(peers map[cluster.NodeID]string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for node, addr := range peers {
+		if int(node) >= 0 && int(node) < len(b.owned) && !b.owned[int(node)] {
+			b.addrs[node] = addr
+		}
+	}
+}
+
+// Done is closed when a peer asks this backend's process to shut down.
+func (b *Backend) Done() <-chan struct{} { return b.shutdownCh }
+
+// Remote implements transport.Backend: an operation traverses the wire
+// when the target core's endpoint state lives in another process, or —
+// the HybridDART network path — when initiator and target sit on
+// different nodes even though both are owned here (loopback mode).
+func (b *Backend) Remote(initiator, target cluster.CoreID) bool {
+	if !b.owned[int(b.machine.NodeOf(target))] {
+		return true
+	}
+	return !b.machine.SameNode(initiator, target)
+}
+
+// ioTimeout is the per-frame deadline for writes and non-blocking reads.
+func (b *Backend) ioTimeout() time.Duration {
+	if b.cfg.IOTimeout > 0 {
+		return b.cfg.IOTimeout
+	}
+	return b.cfg.Retry.Deadline
+}
+
+// errHandshake marks a peer that answered but refused the handshake —
+// wrong wire version or machine shape. Retrying cannot fix it.
+var errHandshake = errors.New("tcpnet: handshake rejected")
+
+// dial connects to a node's server and completes the versioned handshake,
+// retrying transient failures under the configured policy.
+func (b *Backend) dial(node cluster.NodeID) (net.Conn, error) {
+	b.mu.Lock()
+	addr := b.addrs[node]
+	b.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("tcpnet: no address for node %d", node)
+	}
+	var conn net.Conn
+	retryable := func(err error) bool { return !errors.Is(err, errHandshake) }
+	_, err := retry.Do(b.cfg.Retry, uint64(node)*0x9e3779b97f4a7c15, retryable, nil, func(int) error {
+		c, err := net.DialTimeout("tcp", addr, b.ioTimeout())
+		if err != nil {
+			return err
+		}
+		if err := b.handshake(c, node); err != nil {
+			c.Close()
+			return err
+		}
+		conn = c
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: dialing node %d at %s: %w", node, addr, err)
+	}
+	return conn, nil
+}
+
+// handshake announces the wire version and machine shape and waits for
+// the peer's acceptance.
+func (b *Backend) handshake(c net.Conn, node cluster.NodeID) error {
+	if d := b.ioTimeout(); d > 0 {
+		c.SetDeadline(time.Now().Add(d))
+		defer c.SetDeadline(time.Time{})
+	}
+	hello := &frame{
+		Op:      opHello,
+		Dst:     int32(node),
+		Tag:     helloMagic,
+		Version: int64(wireVersion),
+		Bytes:   int64(b.machine.NumNodes()),
+		Bytes2:  int64(b.machine.CoresPerNode()),
+	}
+	if err := writeFrame(c, hello); err != nil {
+		return err
+	}
+	resp, err := readFrame(c, b.cfg.MaxFrame)
+	if err != nil {
+		return err
+	}
+	if resp.Op != opResp || resp.Status != statusOK {
+		return fmt.Errorf("%w: %s", errHandshake, resp.Err)
+	}
+	return nil
+}
+
+// checkHello validates a client's handshake against this server.
+func (b *Backend) checkHello(fr *frame) error {
+	if fr.Op != opHello || fr.Tag != helloMagic {
+		return fmt.Errorf("not a tcpnet hello")
+	}
+	if fr.Version != int64(wireVersion) {
+		return fmt.Errorf("wire version %d, want %d", fr.Version, wireVersion)
+	}
+	if fr.Bytes != int64(b.machine.NumNodes()) || fr.Bytes2 != int64(b.machine.CoresPerNode()) {
+		return fmt.Errorf("machine shape %dx%d, want %dx%d",
+			fr.Bytes, fr.Bytes2, b.machine.NumNodes(), b.machine.CoresPerNode())
+	}
+	if int(fr.Dst) < 0 || int(fr.Dst) >= len(b.owned) || !b.owned[int(fr.Dst)] {
+		return fmt.Errorf("node %d is not served here", fr.Dst)
+	}
+	return nil
+}
+
+// conn returns a pooled connection to node, dialing when the pool is
+// empty; cached reports whether the connection was reused.
+func (b *Backend) conn(node cluster.NodeID) (c net.Conn, cached bool, err error) {
+	b.mu.Lock()
+	if list := b.pools[node]; len(list) > 0 {
+		c = list[len(list)-1]
+		b.pools[node] = list[:len(list)-1]
+		b.mu.Unlock()
+		return c, true, nil
+	}
+	b.mu.Unlock()
+	c, err = b.dial(node)
+	return c, false, err
+}
+
+func (b *Backend) release(node cluster.NodeID, c net.Conn) {
+	if b.closed.Load() {
+		c.Close()
+		return
+	}
+	b.mu.Lock()
+	b.pools[node] = append(b.pools[node], c)
+	b.mu.Unlock()
+}
+
+// exchange writes one request frame and reads its response. wrote reports
+// whether the request hit the wire — a false wrote on a cached connection
+// means the peer closed it while pooled, which is safe to retry on a
+// fresh connection; any later failure is not, since the operation may
+// already have executed remotely.
+func (b *Backend) exchange(c net.Conn, fr *frame, blocking bool) (resp *frame, wrote bool, err error) {
+	if d := b.ioTimeout(); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := writeFrame(c, fr); err != nil {
+		return nil, false, err
+	}
+	if d := b.ioTimeout(); d > 0 && !blocking {
+		c.SetReadDeadline(time.Now().Add(d))
+	} else {
+		c.SetReadDeadline(time.Time{})
+	}
+	resp, err = readFrame(c, b.cfg.MaxFrame)
+	return resp, true, err
+}
+
+// roundTrip performs one request/response exchange against the server of
+// node, reusing pooled connections.
+func (b *Backend) roundTrip(node cluster.NodeID, fr *frame, blocking bool) (*frame, error) {
+	for {
+		c, cached, err := b.conn(node)
+		if err != nil {
+			return nil, err
+		}
+		resp, wrote, err := b.exchange(c, fr, blocking)
+		if err != nil {
+			c.Close()
+			if cached && !wrote {
+				continue // stale pooled connection; redial
+			}
+			return nil, fmt.Errorf("tcpnet: exchange with node %d: %w", node, err)
+		}
+		b.release(node, c)
+		if resp.Op != opResp {
+			return nil, fmt.Errorf("tcpnet: unexpected response op %d from node %d", resp.Op, node)
+		}
+		return resp, nil
+	}
+}
+
+// respErr maps a response status to the caller-visible error, preserving
+// the ErrEndpointClosed sentinel across the wire so retry layers keep
+// treating it as terminal.
+func respErr(resp *frame) error {
+	switch resp.Status {
+	case statusOK, statusNotFound:
+		return nil
+	case statusClosed:
+		return fmt.Errorf("tcpnet: %s: %w", resp.Err, transport.ErrEndpointClosed)
+	default:
+		return fmt.Errorf("tcpnet: remote: %s", resp.Err)
+	}
+}
+
+func meterFrame(fr *frame, m transport.Meter) {
+	fr.MeterClass = uint8(m.Class)
+	fr.DstApp = int32(m.DstApp)
+	fr.Phase = m.Phase
+}
+
+func frameMeter(fr *frame) transport.Meter {
+	return transport.Meter{Phase: fr.Phase, Class: cluster.Class(fr.MeterClass), DstApp: int(fr.DstApp)}
+}
+
+// Send implements transport.Backend.
+func (b *Backend) Send(src, dst cluster.CoreID, tag uint64, payload []byte, m transport.Meter) error {
+	fr := &frame{Op: opSend, Src: int32(src), Dst: int32(dst), Tag: tag, Payload: payload}
+	meterFrame(fr, m)
+	resp, err := b.roundTrip(b.machine.NodeOf(dst), fr, false)
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Recv implements transport.Backend. The response read carries no
+// deadline: a receive legitimately blocks until a matching send.
+func (b *Backend) Recv(on, src cluster.CoreID, tag uint64) (transport.Message, error) {
+	fr := &frame{Op: opRecv, Src: int32(src), Dst: int32(on), Tag: tag}
+	resp, err := b.roundTrip(b.machine.NodeOf(on), fr, true)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if err := respErr(resp); err != nil {
+		return transport.Message{}, err
+	}
+	return transport.Message{Src: cluster.CoreID(resp.Src), Tag: resp.Tag, Payload: resp.Payload}, nil
+}
+
+// Read implements transport.Backend: the owning side clips nothing — the
+// whole exposed buffer is shipped and the reader's callback copies its
+// region out, exactly like the in-process payload sharing (server-side
+// clipping is future work tracked in DESIGN §5f).
+func (b *Backend) Read(reader, owner cluster.CoreID, key transport.BufKey, m transport.Meter, n int64, wait bool) (any, bool, error) {
+	fr := &frame{Op: opRead, Src: int32(reader), Dst: int32(owner), Name: key.Name, Version: int64(key.Version), Bytes: n}
+	meterFrame(fr, m)
+	if wait {
+		fr.Flags |= flagWait
+	}
+	resp, err := b.roundTrip(b.machine.NodeOf(owner), fr, wait)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.Status == statusNotFound {
+		return nil, false, nil
+	}
+	if err := respErr(resp); err != nil {
+		return nil, false, err
+	}
+	payload, err := transport.DecodePayload(resp.Payload)
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, true, nil
+}
+
+// Call implements transport.Backend.
+func (b *Backend) Call(src, dst cluster.CoreID, service string, request any, m transport.Meter, reqBytes, respBytes int64) (any, error) {
+	enc, err := transport.EncodePayload(request)
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{Op: opCall, Src: int32(src), Dst: int32(dst), Name: service, Bytes: reqBytes, Bytes2: respBytes, Payload: enc}
+	meterFrame(fr, m)
+	resp, err := b.roundTrip(b.machine.NodeOf(dst), fr, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := respErr(resp); err != nil {
+		return nil, err
+	}
+	return transport.DecodePayload(resp.Payload)
+}
+
+// Expose implements transport.Backend.
+func (b *Backend) Expose(owner cluster.CoreID, key transport.BufKey, payload any) error {
+	enc, err := transport.EncodePayload(payload)
+	if err != nil {
+		return err
+	}
+	fr := &frame{Op: opExpose, Dst: int32(owner), Name: key.Name, Version: int64(key.Version), Payload: enc}
+	resp, err := b.roundTrip(b.machine.NodeOf(owner), fr, false)
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Unexpose implements transport.Backend.
+func (b *Backend) Unexpose(owner cluster.CoreID, key transport.BufKey) error {
+	fr := &frame{Op: opUnexpose, Dst: int32(owner), Name: key.Name, Version: int64(key.Version)}
+	resp, err := b.roundTrip(b.machine.NodeOf(owner), fr, false)
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// Exposed implements transport.Backend.
+func (b *Backend) Exposed(owner cluster.CoreID, key transport.BufKey) (bool, error) {
+	fr := &frame{Op: opExposed, Dst: int32(owner), Name: key.Name, Version: int64(key.Version)}
+	resp, err := b.roundTrip(b.machine.NodeOf(owner), fr, false)
+	if err != nil {
+		return false, err
+	}
+	if resp.Status == statusNotFound {
+		return false, nil
+	}
+	return true, respErr(resp)
+}
+
+// nodeStats ships one process's recorded transfer accounting to the
+// driver: the fabric's per-medium counters plus the full metrics
+// snapshot (class/medium totals, per-app volumes, flows).
+type nodeStats struct {
+	ShmBytes, ShmOps int64
+	NetBytes, NetOps int64
+	Metrics          cluster.MetricsSnapshot
+}
+
+// MergeRemoteStats pulls the transfer accounting every remote peer
+// recorded while executing this process's operations and folds it into
+// the local fabric and machine metrics. Each distinct peer process is
+// queried once (a peer owning several nodes answers for all of them), so
+// the merged totals equal what a single-process run records. Call it
+// after the workflow completes and before reading any traffic report.
+func (b *Backend) MergeRemoteStats() error {
+	seen := make(map[string]bool)
+	for node := range b.owned {
+		if b.owned[node] {
+			continue
+		}
+		b.mu.Lock()
+		addr := b.addrs[cluster.NodeID(node)]
+		b.mu.Unlock()
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		resp, err := b.roundTrip(cluster.NodeID(node), &frame{Op: opStats}, false)
+		if err != nil {
+			return err
+		}
+		if err := respErr(resp); err != nil {
+			return err
+		}
+		var ns nodeStats
+		if err := gob.NewDecoder(bytes.NewReader(resp.Payload)).Decode(&ns); err != nil {
+			return fmt.Errorf("tcpnet: decoding stats from node %d: %w", node, err)
+		}
+		b.fabric.MergeMediumStats(ns.ShmBytes, ns.ShmOps, ns.NetBytes, ns.NetOps)
+		b.machine.Metrics().Merge(ns.Metrics)
+	}
+	return nil
+}
+
+// PushPeers distributes the full node address table to every remote peer,
+// so peers can reach each other (a handler on one node sending to
+// another).
+func (b *Backend) PushPeers() error {
+	b.mu.Lock()
+	table := make(map[cluster.NodeID]string, len(b.addrs))
+	for node, addr := range b.addrs {
+		table[node] = addr
+	}
+	b.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(table); err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for node := range b.owned {
+		if b.owned[node] || seen[table[cluster.NodeID(node)]] {
+			continue
+		}
+		seen[table[cluster.NodeID(node)]] = true
+		resp, err := b.roundTrip(cluster.NodeID(node), &frame{Op: opPeers, Payload: buf.Bytes()}, false)
+		if err != nil {
+			return err
+		}
+		if err := respErr(resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShutdownPeers asks every remote peer process to exit. Errors are
+// collected but do not stop the fan-out — a peer that already exited is
+// not a failure.
+func (b *Backend) ShutdownPeers() {
+	seen := make(map[string]bool)
+	for node := range b.owned {
+		if b.owned[node] {
+			continue
+		}
+		b.mu.Lock()
+		addr := b.addrs[cluster.NodeID(node)]
+		b.mu.Unlock()
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		_, _ = b.roundTrip(cluster.NodeID(node), &frame{Op: opShutdown}, false)
+	}
+}
+
+// Close implements transport.Backend: it stops the listeners, closes all
+// cached and serving connections and waits for the accept loops. Server
+// goroutines blocked inside an operation (a Recv with no sender) exit
+// when their connection close surfaces; ones blocked on fabric state are
+// released by the endpoints' own teardown.
+func (b *Backend) Close() error {
+	if !b.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, ln := range b.listeners {
+		ln.Close()
+	}
+	b.mu.Lock()
+	for _, list := range b.pools {
+		for _, c := range list {
+			c.Close()
+		}
+	}
+	b.pools = make(map[cluster.NodeID][]net.Conn)
+	for c := range b.serverConns {
+		c.Close()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return nil
+}
+
+func (b *Backend) acceptLoop(ln net.Listener) {
+	defer b.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		b.mu.Lock()
+		if b.closed.Load() {
+			b.mu.Unlock()
+			c.Close()
+			return
+		}
+		b.serverConns[c] = true
+		b.mu.Unlock()
+		go b.serveConn(c)
+	}
+}
+
+func (b *Backend) forgetConn(c net.Conn) {
+	b.mu.Lock()
+	delete(b.serverConns, c)
+	b.mu.Unlock()
+}
+
+// serveConn drives one client connection: handshake, then a strict
+// request/response loop. Blocking operations block this goroutine only —
+// the client holds the connection out of its pool for the duration.
+func (b *Backend) serveConn(c net.Conn) {
+	defer c.Close()
+	defer b.forgetConn(c)
+	hello, err := readFrame(c, b.cfg.MaxFrame)
+	if err != nil {
+		return
+	}
+	if err := b.checkHello(hello); err != nil {
+		_ = writeFrame(c, &frame{Op: opResp, Status: statusErr, Err: err.Error()})
+		return
+	}
+	if err := writeFrame(c, &frame{Op: opResp, Status: statusOK}); err != nil {
+		return
+	}
+	for {
+		fr, err := readFrame(c, b.cfg.MaxFrame)
+		if err != nil {
+			return
+		}
+		resp := b.execute(fr)
+		if err := writeFrame(c, resp); err != nil {
+			return
+		}
+		if fr.Op == opShutdown {
+			b.shutdownOnce.Do(func() { close(b.shutdownCh) })
+			return
+		}
+	}
+}
+
+// checkCore validates a wire-supplied core id; allowAny admits the
+// AnySource wildcard.
+func (b *Backend) checkCore(c int32, allowAny bool) error {
+	if allowAny && cluster.CoreID(c) == transport.AnySource {
+		return nil
+	}
+	if int(c) < 0 || int(c) >= b.machine.TotalCores() {
+		return fmt.Errorf("core %d out of range", c)
+	}
+	return nil
+}
+
+// checkTarget validates that the target core of an operation is served by
+// this process.
+func (b *Backend) checkTarget(c int32) error {
+	if err := b.checkCore(c, false); err != nil {
+		return err
+	}
+	if !b.owned[int(b.machine.NodeOf(cluster.CoreID(c)))] {
+		return fmt.Errorf("core %d is not served here", c)
+	}
+	return nil
+}
+
+// execute runs one decoded request against the local fabric and builds
+// the response frame.
+func (b *Backend) execute(fr *frame) *frame {
+	resp := &frame{Op: opResp}
+	fail := func(err error) *frame {
+		if errors.Is(err, transport.ErrEndpointClosed) {
+			resp.Status = statusClosed
+		} else {
+			resp.Status = statusErr
+		}
+		resp.Err = err.Error()
+		return resp
+	}
+	key := transport.BufKey{Name: fr.Name, Version: int(fr.Version)}
+	switch fr.Op {
+	case opSend:
+		if err := b.checkCore(fr.Src, false); err != nil {
+			return fail(err)
+		}
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		if err := b.fabric.LocalSend(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), fr.Tag, fr.Payload, frameMeter(fr)); err != nil {
+			return fail(err)
+		}
+	case opRecv:
+		if err := b.checkCore(fr.Src, true); err != nil {
+			return fail(err)
+		}
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		msg, err := b.fabric.LocalRecv(cluster.CoreID(fr.Dst), cluster.CoreID(fr.Src), fr.Tag)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Src = int32(msg.Src)
+		resp.Tag = msg.Tag
+		resp.Payload = msg.Payload
+	case opRead:
+		if err := b.checkCore(fr.Src, false); err != nil {
+			return fail(err)
+		}
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		payload, ok, err := b.fabric.LocalRead(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), key, frameMeter(fr), fr.Bytes, fr.Flags&flagWait != 0)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			resp.Status = statusNotFound
+			return resp
+		}
+		enc, err := transport.EncodePayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = enc
+	case opCall:
+		if err := b.checkCore(fr.Src, false); err != nil {
+			return fail(err)
+		}
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		req, err := transport.DecodePayload(fr.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		out, err := b.fabric.LocalCall(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), fr.Name, req, frameMeter(fr), fr.Bytes, fr.Bytes2)
+		if err != nil {
+			return fail(err)
+		}
+		enc, err := transport.EncodePayload(out)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Payload = enc
+	case opExpose:
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		payload, err := transport.DecodePayload(fr.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		if err := b.fabric.LocalExpose(cluster.CoreID(fr.Dst), key, payload); err != nil {
+			return fail(err)
+		}
+	case opUnexpose:
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		if err := b.fabric.LocalUnexpose(cluster.CoreID(fr.Dst), key); err != nil {
+			return fail(err)
+		}
+	case opExposed:
+		if err := b.checkTarget(fr.Dst); err != nil {
+			return fail(err)
+		}
+		ok, err := b.fabric.LocalExposed(cluster.CoreID(fr.Dst), key)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			resp.Status = statusNotFound
+		}
+	case opPeers:
+		var table map[cluster.NodeID]string
+		if err := gob.NewDecoder(bytes.NewReader(fr.Payload)).Decode(&table); err != nil {
+			return fail(err)
+		}
+		b.SetPeers(table)
+	case opStats:
+		ns := nodeStats{
+			ShmBytes: b.fabric.MediumBytes(cluster.SharedMemory),
+			ShmOps:   b.fabric.MediumOps(cluster.SharedMemory),
+			NetBytes: b.fabric.MediumBytes(cluster.Network),
+			NetOps:   b.fabric.MediumOps(cluster.Network),
+			Metrics:  b.machine.Metrics().Snapshot(),
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(ns); err != nil {
+			return fail(err)
+		}
+		resp.Payload = buf.Bytes()
+	case opShutdown:
+		// Acknowledged here; serveConn triggers the shutdown channel after
+		// the response is on the wire.
+	default:
+		return fail(fmt.Errorf("unhandled op %d", fr.Op))
+	}
+	return resp
+}

@@ -1,0 +1,246 @@
+package tcpnet
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/retry"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// echoPayload is a representative RPC payload, registered by value like
+// the dht and lock request types; blockPayload is a representative
+// exposed buffer, registered as a pointer like cods.StoredObject.
+type echoPayload struct {
+	Text string
+	Vals []float64
+}
+
+type blockPayload struct {
+	Text string
+	Vals []float64
+}
+
+func init() {
+	transport.RegisterWireType(echoPayload{})
+	transport.RegisterWireType(&blockPayload{})
+}
+
+func testConfig() Config {
+	p := retry.Default()
+	p.Deadline = 5 * time.Second
+	return Config{Retry: p, IOTimeout: 5 * time.Second}
+}
+
+func newLoopbackFabric(t *testing.T, nodes, cores int) (*transport.Fabric, *Backend) {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := transport.NewFabric(m)
+	b, err := NewLoopback(f, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetBackend(b)
+	t.Cleanup(func() {
+		f.SetBackend(nil)
+		b.Close()
+	})
+	return f, b
+}
+
+func sampleFrames() []*frame {
+	return []*frame{
+		{Op: opHello, Dst: 1, Tag: helloMagic, Version: int64(wireVersion), Bytes: 2, Bytes2: 4},
+		{Op: opSend, Src: 0, Dst: 5, Tag: 42, MeterClass: uint8(cluster.InterApp), DstApp: 2,
+			Phase: "couple:1", Payload: []byte("hello")},
+		{Op: opRecv, Src: -1, Dst: 3, Tag: 7},
+		{Op: opRead, Src: 2, Dst: 6, Name: "temperature", Version: 3, Bytes: 4096,
+			Flags: flagWait, MeterClass: uint8(cluster.InterApp), DstApp: 2, Phase: "couple:3"},
+		{Op: opCall, Src: 1, Dst: 0, Name: "cods.dht", Bytes: 64, Bytes2: 128,
+			MeterClass: uint8(cluster.Control), Payload: []byte{1, 2, 3}},
+		{Op: opResp, Status: statusErr, Err: "transport: endpoint closed"},
+		{Op: opResp, Status: statusOK, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, fr := range sampleFrames() {
+		buf, err := marshalFrame(fr)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", fr, err)
+		}
+		got, err := decodeFrame(buf[4:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", fr, err)
+		}
+		if !reflect.DeepEqual(fr, got) {
+			t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", fr, got)
+		}
+	}
+}
+
+func TestWireStrictDecode(t *testing.T) {
+	buf, err := marshalFrame(sampleFrames()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := buf[4:]
+	// Every proper prefix of a valid body must fail, and fail as a short
+	// frame (or invalid header field), never succeed or panic.
+	for n := 0; n < len(body); n++ {
+		if _, err := decodeFrame(body[:n]); err == nil {
+			t.Fatalf("decode accepted %d-byte prefix of a %d-byte body", n, len(body))
+		}
+	}
+	// Trailing garbage after a valid body is rejected.
+	if _, err := decodeFrame(append(append([]byte(nil), body...), 0x00)); !errors.Is(err, errTrailingData) {
+		t.Fatalf("trailing byte: got %v, want errTrailingData", err)
+	}
+	// Invalid op and meter class are rejected.
+	bad := append([]byte(nil), body...)
+	bad[0] = 0
+	if _, err := decodeFrame(bad); err == nil {
+		t.Fatal("decode accepted op 0")
+	}
+	bad[0] = opMax
+	if _, err := decodeFrame(bad); err == nil {
+		t.Fatal("decode accepted op opMax")
+	}
+	bad[0] = opSend
+	bad[3] = uint8(cluster.Control) + 1
+	if _, err := decodeFrame(bad); err == nil {
+		t.Fatal("decode accepted out-of-range meter class")
+	}
+}
+
+func TestLoopbackRemotePredicate(t *testing.T) {
+	f, b := newLoopbackFabric(t, 2, 2)
+	_ = f
+	if b.Remote(0, 1) {
+		t.Error("same-node cores must stay in-process")
+	}
+	if !b.Remote(0, 2) {
+		t.Error("cross-node cores must traverse the wire")
+	}
+}
+
+func TestLoopbackSendRecv(t *testing.T) {
+	f, _ := newLoopbackFabric(t, 2, 2)
+	m := transport.Meter{Phase: "test", Class: cluster.InterApp, DstApp: 2}
+	done := make(chan transport.Message, 1)
+	go func() {
+		msg, err := f.Endpoint(2).Recv(0, 42)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- msg
+	}()
+	if err := f.Endpoint(0).Send(2, 42, []byte("over the wire"), m); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-done
+	if string(msg.Payload) != "over the wire" || msg.Src != 0 || msg.Tag != 42 {
+		t.Fatalf("got %+v", msg)
+	}
+	if f.MediumBytes(cluster.Network) == 0 {
+		t.Error("cross-node send recorded no network bytes")
+	}
+}
+
+func TestLoopbackExposeReadCall(t *testing.T) {
+	f, _ := newLoopbackFabric(t, 2, 2)
+	m := transport.Meter{Phase: "test", Class: cluster.InterApp, DstApp: 2}
+	key := transport.BufKey{Name: "var", Version: 1}
+	owner, reader := f.Endpoint(1), f.Endpoint(3)
+
+	if ok, err := reader.TryRead(1, key, m, 8, func(any) {}); err != nil || ok {
+		t.Fatalf("TryRead before expose: ok=%v err=%v", ok, err)
+	}
+	want := &blockPayload{Text: "block", Vals: []float64{1, 2, 3}}
+	if err := owner.Expose(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !owner.Exposed(key) {
+		t.Fatal("Exposed() false after Expose")
+	}
+	var got *blockPayload
+	if err := reader.Read(1, key, m, 24, func(p any) { got = p.(*blockPayload) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("read %+v, want %+v", got, want)
+	}
+	if err := owner.Unexpose(key); err != nil {
+		t.Fatal(err)
+	}
+	if owner.Exposed(key) {
+		t.Fatal("Exposed() true after Unexpose")
+	}
+
+	f.Endpoint(0).RegisterHandler("echo", func(src cluster.CoreID, req any) (any, error) {
+		in := req.(echoPayload)
+		return echoPayload{Text: in.Text + "!", Vals: in.Vals}, nil
+	})
+	cm := transport.Meter{Phase: "test", Class: cluster.Control, DstApp: 2}
+	resp, err := f.Endpoint(2).Call(0, "echo", echoPayload{Text: "ping", Vals: []float64{9}}, cm, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := resp.(echoPayload); out.Text != "ping!" || out.Vals[0] != 9 {
+		t.Fatalf("call returned %+v", out)
+	}
+}
+
+func TestClosedEndpointErrorCrossesWire(t *testing.T) {
+	f, _ := newLoopbackFabric(t, 2, 1)
+	f.Endpoint(1).Close()
+	err := f.Endpoint(0).Send(1, 1, []byte("x"), transport.Meter{Class: cluster.IntraApp})
+	if !errors.Is(err, transport.ErrEndpointClosed) {
+		t.Fatalf("got %v, want ErrEndpointClosed through the wire", err)
+	}
+}
+
+func TestHandshakeRejectsShapeMismatch(t *testing.T) {
+	_, server := newLoopbackFabric(t, 2, 2)
+	mOther, err := cluster.NewMachine(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOther := transport.NewFabric(mOther)
+	p := retry.Default()
+	p.MaxAttempts = 1
+	client, err := Connect(fOther, map[cluster.NodeID]string{
+		0: server.Addr(0), 1: server.Addr(1), 2: server.Addr(0),
+	}, Config{Retry: p, IOTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.dial(0); !errors.Is(err, errHandshake) {
+		t.Fatalf("got %v, want handshake rejection", err)
+	}
+}
+
+func TestStatsMergeAcrossProcessShapes(t *testing.T) {
+	// Loopback owns every node, so MergeRemoteStats must be a no-op there.
+	f, b := newLoopbackFabric(t, 2, 2)
+	m := transport.Meter{Phase: "t", Class: cluster.InterApp, DstApp: 2}
+	go func() { _, _ = f.Endpoint(2).Recv(0, 9) }()
+	if err := f.Endpoint(0).Send(2, 9, []byte("abcd"), m); err != nil {
+		t.Fatal(err)
+	}
+	before := f.MediumBytes(cluster.Network)
+	if err := b.MergeRemoteStats(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.MediumBytes(cluster.Network); got != before {
+		t.Fatalf("loopback MergeRemoteStats changed stats: %d -> %d", before, got)
+	}
+}

@@ -104,16 +104,25 @@ type Fabric struct {
 	// counts error faults across all plans this fabric has carried.
 	fault          atomic.Pointer[FaultPlan]
 	faultsInjected atomic.Int64
+
+	// backend executes operations whose target state lives outside this
+	// process; routeMode (routeLocal/routeRemote/routeAll) gates whether
+	// an op consults it at all, so the in-process fast path costs one
+	// atomic load. See backend.go.
+	backend   Backend
+	routeMode atomic.Int32
 }
 
 // NewFabric creates a fabric with one endpoint per core of the machine.
 func NewFabric(m *cluster.Machine) *Fabric {
 	f := &Fabric{machine: m, endpoints: make([]*Endpoint, m.TotalCores())}
+	f.backend = localBackend{f}
 	for c := 0; c < m.TotalCores(); c++ {
 		ep := &Endpoint{
 			core:    cluster.CoreID(c),
 			fabric:  f,
 			exports: make(map[BufKey]*export),
+			done:    make(chan struct{}),
 		}
 		ep.inboxCond = sync.NewCond(&ep.mu)
 		ep.exportCond = sync.NewCond(&ep.exportMu)
@@ -200,6 +209,9 @@ type Endpoint struct {
 	inbox     []Message
 	inboxCond *sync.Cond
 	closed    bool
+	// done is closed by Close; in-flight Calls select on it so a stuck
+	// handler cannot hang a caller past the endpoint's teardown.
+	done chan struct{}
 
 	exportMu     sync.Mutex
 	exports      map[BufKey]*export
@@ -221,16 +233,10 @@ func (ep *Endpoint) Send(dst cluster.CoreID, tag uint64, payload []byte, m Meter
 	if err := ep.fabric.inject(FaultSend, int(ep.fabric.medium(ep.core, dst)), ep.core, dst); err != nil {
 		return err
 	}
-	ep.fabric.record(m, ep.core, dst, int64(len(payload)))
-	de := ep.fabric.endpoints[int(dst)]
-	de.mu.Lock()
-	defer de.mu.Unlock()
-	if de.closed {
-		return fmt.Errorf("transport: sending to endpoint %d: %w", dst, ErrEndpointClosed)
+	if ep.fabric.routed(ep.core, dst) {
+		return ep.fabric.backend.Send(ep.core, dst, tag, payload, m)
 	}
-	de.inbox = append(de.inbox, Message{Src: ep.core, Tag: tag, Payload: payload})
-	de.inboxCond.Broadcast()
-	return nil
+	return ep.fabric.LocalSend(ep.core, dst, tag, payload, m)
 }
 
 // Recv blocks until a message matching (src, tag) is available and returns
@@ -246,27 +252,22 @@ func (ep *Endpoint) Recv(src cluster.CoreID, tag uint64) (Message, error) {
 	if err := ep.fabric.inject(FaultRecv, md, src, ep.core); err != nil {
 		return Message{}, err
 	}
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	for {
-		for i, msg := range ep.inbox {
-			if (src == AnySource || msg.Src == src) && msg.Tag == tag {
-				ep.inbox = append(ep.inbox[:i], ep.inbox[i+1:]...)
-				return msg, nil
-			}
-		}
-		if ep.closed {
-			return Message{}, fmt.Errorf("transport: receiving on endpoint %d: %w", ep.core, ErrEndpointClosed)
-		}
-		ep.inboxCond.Wait()
+	// The target state is this endpoint's own inbox: it is remote only
+	// when this process does not own the endpoint (a driver fabric).
+	if ep.fabric.routed(ep.core, ep.core) {
+		return ep.fabric.backend.Recv(ep.core, src, tag)
 	}
+	return ep.fabric.LocalRecv(ep.core, src, tag)
 }
 
 // Close wakes all blocked receivers of this endpoint with an error. It is
 // used to tear down a simulation.
 func (ep *Endpoint) Close() {
 	ep.mu.Lock()
-	ep.closed = true
+	if !ep.closed {
+		ep.closed = true
+		close(ep.done)
+	}
 	ep.inboxCond.Broadcast()
 	ep.mu.Unlock()
 	ep.exportMu.Lock()
@@ -279,28 +280,27 @@ func (ep *Endpoint) Close() {
 // pull from it with Read. Re-exposing an existing key is an error (versions
 // distinguish iterations).
 func (ep *Endpoint) Expose(key BufKey, payload any) error {
-	ep.exportMu.Lock()
-	defer ep.exportMu.Unlock()
-	if _, ok := ep.exports[key]; ok {
-		return fmt.Errorf("transport: buffer %v already exposed on core %d", key, ep.core)
+	if ep.fabric.routed(ep.core, ep.core) {
+		return ep.fabric.backend.Expose(ep.core, key, payload)
 	}
-	ep.exports[key] = &export{payload: payload}
-	ep.exportCond.Broadcast()
-	return nil
+	return ep.fabric.LocalExpose(ep.core, key, payload)
 }
 
 // Unexpose withdraws a published buffer, freeing its slot.
-func (ep *Endpoint) Unexpose(key BufKey) {
-	ep.exportMu.Lock()
-	defer ep.exportMu.Unlock()
-	delete(ep.exports, key)
+func (ep *Endpoint) Unexpose(key BufKey) error {
+	if ep.fabric.routed(ep.core, ep.core) {
+		return ep.fabric.backend.Unexpose(ep.core, key)
+	}
+	return ep.fabric.LocalUnexpose(ep.core, key)
 }
 
 // Exposed reports whether key is currently published on this endpoint.
 func (ep *Endpoint) Exposed(key BufKey) bool {
-	ep.exportMu.Lock()
-	defer ep.exportMu.Unlock()
-	_, ok := ep.exports[key]
+	if ep.fabric.routed(ep.core, ep.core) {
+		ok, err := ep.fabric.backend.Exposed(ep.core, key)
+		return err == nil && ok
+	}
+	ok, _ := ep.fabric.LocalExposed(ep.core, key)
 	return ok
 }
 
@@ -316,25 +316,20 @@ func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64,
 	if err := ep.fabric.inject(FaultRead, int(ep.fabric.medium(owner, ep.core)), ep.core, owner); err != nil {
 		return err
 	}
-	oe := ep.fabric.endpoints[int(owner)]
-	oe.exportMu.Lock()
-	for {
-		if oe.exportClosed {
-			oe.exportMu.Unlock()
-			return fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
-		}
-		if e, ok := oe.exports[key]; ok {
-			payload := e.payload
-			oe.exportMu.Unlock()
-			ep.fabric.sleepReadLatency(ep.fabric.medium(owner, ep.core))
-			ep.fabric.record(m, owner, ep.core, bytes)
-			if read != nil {
-				read(payload)
-			}
-			return nil
-		}
-		oe.exportCond.Wait()
+	var payload any
+	var err error
+	if ep.fabric.routed(ep.core, owner) {
+		payload, _, err = ep.fabric.backend.Read(ep.core, owner, key, m, bytes, true)
+	} else {
+		payload, _, err = ep.fabric.LocalRead(ep.core, owner, key, m, bytes, true)
 	}
+	if err != nil {
+		return err
+	}
+	if read != nil {
+		read(payload)
+	}
+	return nil
 }
 
 // TryRead is Read without blocking: it returns false when the buffer is not
@@ -346,22 +341,17 @@ func (ep *Endpoint) TryRead(owner cluster.CoreID, key BufKey, m Meter, bytes int
 	if err := ep.fabric.inject(FaultRead, int(ep.fabric.medium(owner, ep.core)), ep.core, owner); err != nil {
 		return false, err
 	}
-	oe := ep.fabric.endpoints[int(owner)]
-	oe.exportMu.Lock()
-	closed := oe.exportClosed
-	e, ok := oe.exports[key]
 	var payload any
-	if ok {
-		payload = e.payload
+	var ok bool
+	var err error
+	if ep.fabric.routed(ep.core, owner) {
+		payload, ok, err = ep.fabric.backend.Read(ep.core, owner, key, m, bytes, false)
+	} else {
+		payload, ok, err = ep.fabric.LocalRead(ep.core, owner, key, m, bytes, false)
 	}
-	oe.exportMu.Unlock()
-	if closed {
-		return false, fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
+	if err != nil || !ok {
+		return false, err
 	}
-	if !ok {
-		return false, nil
-	}
-	ep.fabric.record(m, owner, ep.core, bytes)
 	if read != nil {
 		read(payload)
 	}
@@ -397,25 +387,8 @@ func (ep *Endpoint) Call(dst cluster.CoreID, service string, request any, m Mete
 	if err := ep.fabric.inject(FaultCall, int(ep.fabric.medium(ep.core, dst)), ep.core, dst); err != nil {
 		return nil, err
 	}
-	de := ep.fabric.endpoints[int(dst)]
-	de.mu.Lock()
-	closed := de.closed
-	de.mu.Unlock()
-	if closed {
-		return nil, fmt.Errorf("transport: calling %q on endpoint %d: %w", service, dst, ErrEndpointClosed)
+	if ep.fabric.routed(ep.core, dst) {
+		return ep.fabric.backend.Call(ep.core, dst, service, request, m, reqBytes, respBytes)
 	}
-	handlerMu.Lock()
-	h := de.handlers[service]
-	handlerMu.Unlock()
-	if h == nil {
-		return nil, fmt.Errorf("transport: no handler %q on core %d", service, dst)
-	}
-	// Request travels ep -> dst, response dst -> ep.
-	ep.fabric.record(m, ep.core, dst, reqBytes)
-	resp, err := h(ep.core, request)
-	if err != nil {
-		return nil, err
-	}
-	ep.fabric.record(m, dst, ep.core, respBytes)
-	return resp, nil
+	return ep.fabric.LocalCall(ep.core, dst, service, request, m, reqBytes, respBytes)
 }

@@ -104,6 +104,33 @@ func mutationScenario(name string) genwf.Scenario {
 			Faults: `{"seed": 1, "rules": [{"op": "read", "mode": "error", "from_op": 0, "to_op": 2}]}`,
 			Retry:  2,
 		}
+	case mutate.TCPTruncFrame:
+		// Producer block on node 1, single consumer on node 0: the pull and
+		// its DHT lookups cross the wire under the TCP backend, where every
+		// mutated frame is one byte short and the strict decoder rejects
+		// it. The in-process leg of the cross-backend run stays green —
+		// only the real network path carries the defect.
+		return genwf.Scenario{
+			Seed: 0x10, Nodes: 2, CoresPerNode: 1, Domain: []int{16},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{1},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
+	case mutate.TCPMeterClass:
+		// Same cross-node shape: the swapped class byte books the coupled
+		// network pull as control traffic on the serving side. Data stays
+		// byte-identical; the inter-app-bytes-vs-model invariant of the
+		// TCP leg is what must catch it.
+		return genwf.Scenario{
+			Seed: 0x11, Nodes: 2, CoresPerNode: 1, Domain: []int{16},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{1},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
 	default:
 		panic("unknown mutation " + name)
 	}
@@ -122,10 +149,16 @@ func TestMutationDetection(t *testing.T) {
 				// Detection is a deliberate hang; keep the watchdog short.
 				opts.Timeout = 3 * time.Second
 			}
+			// The wire defects only exist on the TCP path; they are what
+			// the cross-backend dimension of the sweep must catch.
+			runScenario := conformance.RunOpts
+			if name == mutate.TCPTruncFrame || name == mutate.TCPMeterClass {
+				runScenario = conformance.RunCrossOpts
+			}
 
 			// Sanity: the scenario passes with the mutation disabled —
 			// what the suite detects is the defect, not the scenario.
-			if err := conformance.RunOpts(sc, opts); err != nil {
+			if err := runScenario(sc, opts); err != nil {
 				t.Fatalf("scenario fails even without the mutation: %v", err)
 			}
 
@@ -133,7 +166,7 @@ func TestMutationDetection(t *testing.T) {
 			if !mutate.Enabled(name) {
 				t.Fatal("mutation hooks not compiled in (missing -tags conformance_mutations?)")
 			}
-			err := conformance.RunOpts(sc, opts)
+			err := runScenario(sc, opts)
 			if err == nil {
 				t.Fatalf("conformance suite did not detect seeded defect %q", name)
 			}
