@@ -24,6 +24,11 @@
 // results/BENCH_pull.json) is compared informationally only — absolute
 // nanoseconds are not portable across machines, so drift against the
 // baseline is reported but never fails the guard.
+//
+// A fourth, deterministic gate runs the pull engine over the TCP
+// loopback backend and asserts the scatter-gather protocol ships exactly
+// the schedule-predicted clipped bytes (±2% for framing tweaks), one
+// request frame per owning peer, and no whole-block fallback reads.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
+	"github.com/insitu/cods/internal/transport/tcpnet"
 )
 
 const (
@@ -191,6 +197,101 @@ func median(ds []time.Duration) time.Duration {
 	return s[len(s)/2]
 }
 
+// wireByteGate asserts the scatter-gather wire protocol ships exactly
+// the bytes the schedule predicts. It stages a small grid behind the TCP
+// loopback backend, retrieves a half-block-inset region (every boundary
+// block is clipped on its owner), and compares the owner-side segment
+// bytes against the analytic clipped byte count. The gate is
+// deterministic — byte counters, not timings — so its tolerance covers
+// only future framing tweaks, not machine jitter.
+const wireByteTolerance = 0.02
+
+func wireByteGate() error {
+	const gateTransfers = 16
+	nx := 1
+	for nx*nx < gateTransfers {
+		nx *= 2
+	}
+	ny := gateTransfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	if err != nil {
+		return err
+	}
+	region := geometry.NewBBox(
+		geometry.Point{side / 2, side / 2},
+		geometry.Point{nx*side - side/2, ny*side - side/2})
+	cores := m.TotalCores()
+	var predicted int64
+	remoteOwners := map[cluster.NodeID]bool{}
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			owner := cluster.CoreID(n % cores)
+			h := sp.HandleAt(owner, 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return err
+			}
+			if m.NodeOf(owner) != m.NodeOf(0) {
+				if sub, ok := blk.Intersect(region); ok {
+					predicted += int64(sub.Volume() * cods.ElemSize)
+					remoteOwners[m.NodeOf(owner)] = true
+				}
+			}
+			n++
+		}
+	}
+	consumer := sp.HandleAt(0, 2, "get")
+	// Warm the schedule cache and connection pool, then measure one pull.
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return err
+	}
+	s0 := b.WireStats()
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return err
+	}
+	s1 := b.WireStats()
+	segBytes := s1.SegmentBytesServed - s0.SegmentBytesServed
+	frames := s1.ReadMultiRequests - s0.ReadMultiRequests
+	drift := float64(segBytes-predicted) / float64(predicted)
+	fmt.Printf("tcp wire gate: %d clipped segment bytes vs %d predicted (%+.2f%%; budget ±%.0f%%), %d request frames for %d peers\n",
+		segBytes, predicted, 100*drift, 100*wireByteTolerance, frames, len(remoteOwners))
+	if drift > wireByteTolerance || drift < -wireByteTolerance {
+		return fmt.Errorf("scatter-gather wire bytes %d drift %+.2f%% from schedule-predicted %d (budget ±%.0f%%)",
+			segBytes, 100*drift, predicted, 100*wireByteTolerance)
+	}
+	if int(frames) != len(remoteOwners) {
+		return fmt.Errorf("scatter-gather sent %d request frames for %d owning peers (want one per peer)",
+			frames, len(remoteOwners))
+	}
+	if s1.ReadRequests != s0.ReadRequests {
+		return fmt.Errorf("clipped pull fell back to %d whole-block reads", s1.ReadRequests-s0.ReadRequests)
+	}
+	return nil
+}
+
 func run(baseline string, reps int, threshold float64) error {
 	sp, consumer, region, err := buildRig()
 	if err != nil {
@@ -262,7 +363,10 @@ func run(baseline string, reps int, threshold float64) error {
 		return fmt.Errorf("backend indirection overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
 			100*indirOverhead, 100*indirectionBudget, 100*slowIndir)
 	}
-	return nil
+
+	// Guard 4: the scatter-gather wire protocol moves only what the
+	// schedule predicts.
+	return wireByteGate()
 }
 
 func main() {

@@ -1,0 +1,149 @@
+package cods
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// TestCopyRegionStrided exercises copyRegion with sub-boxes whose runs are
+// non-contiguous in both source and destination: a 3-D interior box (every
+// row is a strided run), a single-column box (run length 1, maximal
+// striding) and a sub spanning two dimensions of a flat box.
+func TestCopyRegionStrided(t *testing.T) {
+	cases := []struct {
+		name                string
+		srcBox, dstBox, sub geometry.BBox
+	}{
+		{
+			name:   "interior-3d",
+			srcBox: geometry.BoxFromSize([]int{6, 6, 6}),
+			dstBox: geometry.NewBBox(geometry.Point{1, 1, 1}, geometry.Point{6, 6, 6}),
+			sub:    geometry.NewBBox(geometry.Point{2, 3, 1}, geometry.Point{5, 5, 4}),
+		},
+		{
+			name:   "single-column",
+			srcBox: geometry.BoxFromSize([]int{8, 8}),
+			dstBox: geometry.BoxFromSize([]int{8, 8}),
+			sub:    geometry.NewBBox(geometry.Point{1, 3}, geometry.Point{7, 4}),
+		},
+		{
+			name:   "offset-boxes",
+			srcBox: geometry.NewBBox(geometry.Point{4, 0}, geometry.Point{12, 5}),
+			dstBox: geometry.NewBBox(geometry.Point{2, 1}, geometry.Point{10, 5}),
+			sub:    geometry.NewBBox(geometry.Point{5, 2}, geometry.Point{9, 4}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := fillRegion(tc.srcBox)
+			dst := make([]float64, tc.dstBox.Volume())
+			copyRegion(dst, tc.dstBox, src, tc.srcBox, tc.sub)
+			var copied int64
+			tc.sub.Each(func(p geometry.Point) {
+				copied++
+				if got := dst[tc.dstBox.Offset(p)]; got != cellValue(p) {
+					t.Fatalf("dst cell %v = %v, want %v", p, got, cellValue(p))
+				}
+			})
+			// Every cell outside sub stays zero: the strided copy never
+			// bleeds past a run.
+			var zeros int64
+			for _, v := range dst {
+				if v == 0 {
+					zeros++
+				}
+			}
+			if nonzero := tc.dstBox.Volume() - zeros; nonzero != copied {
+				t.Fatalf("%d non-zero destination cells, want exactly %d copied", nonzero, copied)
+			}
+		})
+	}
+}
+
+// TestClipRegionEdges drives owner-side clipping at the domain edges:
+// empty intersection, single cell, full block and a partially overlapping
+// sub-box. The clipped segment must scatter back through copySegment to
+// exactly the intersection cells.
+func TestClipRegionEdges(t *testing.T) {
+	region := geometry.NewBBox(geometry.Point{4, 4}, geometry.Point{8, 8})
+	obj := &StoredObject{Region: region, Data: fillRegion(region)}
+	cases := []struct {
+		name string
+		sub  geometry.BBox
+	}{
+		{"empty", geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{4, 4})},
+		{"single-cell", geometry.NewBBox(geometry.Point{4, 4}, geometry.Point{5, 5})},
+		{"full-block", region},
+		{"interior", geometry.NewBBox(geometry.Point{5, 5}, geometry.Point{7, 8})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seg, err := obj.ClipRegion(nil, tc.sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clip, ok := tc.sub.Intersect(region)
+			if !ok {
+				if len(seg) != 0 {
+					t.Fatalf("empty intersection produced %d bytes", len(seg))
+				}
+				return
+			}
+			if want := clip.Volume() * ElemSize; int64(len(seg)) != want {
+				t.Fatalf("segment carries %d bytes, want %d", len(seg), want)
+			}
+			dstBox := geometry.BoxFromSize([]int{8, 8})
+			dst := make([]float64, dstBox.Volume())
+			if err := copySegment(dst, dstBox, seg, clip); err != nil {
+				t.Fatal(err)
+			}
+			clip.Each(func(p geometry.Point) {
+				if got := dst[dstBox.Offset(p)]; got != cellValue(p) {
+					t.Fatalf("cell %v = %v, want %v", p, got, cellValue(p))
+				}
+			})
+		})
+	}
+}
+
+// TestClipRegionErrors: rank mismatches are errors, and copySegment
+// rejects a segment whose length does not match its sub-box — the
+// detector for a wire that lost cells.
+func TestClipRegionErrors(t *testing.T) {
+	region := geometry.BoxFromSize([]int{4, 4})
+	obj := &StoredObject{Region: region, Data: fillRegion(region)}
+	if _, err := obj.ClipRegion(nil, geometry.BoxFromSize([]int{4})); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	sub := geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{2, 2})
+	seg, err := obj.ClipRegion(nil, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, region.Volume())
+	if err := copySegment(dst, region, seg[:len(seg)-ElemSize], sub); err == nil {
+		t.Fatal("short segment accepted")
+	}
+	if err := copySegment(dst, region, append(seg, 0), sub); err == nil {
+		t.Fatal("overlong segment accepted")
+	}
+}
+
+// TestClipRegionAppends verifies the append contract pullers rely on for
+// buffer reuse: clipping onto a non-empty prefix preserves it.
+func TestClipRegionAppends(t *testing.T) {
+	region := geometry.BoxFromSize([]int{3, 3})
+	obj := &StoredObject{Region: region, Data: fillRegion(region)}
+	prefix := []byte{0xDE, 0xAD}
+	seg, err := obj.ClipRegion(prefix, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg[0] != 0xDE || seg[1] != 0xAD {
+		t.Fatal("prefix clobbered")
+	}
+	if want := int(region.Volume())*ElemSize + 2; len(seg) != want {
+		t.Fatalf("appended %d bytes, want %d", len(seg), want)
+	}
+}

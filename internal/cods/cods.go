@@ -24,8 +24,10 @@
 package cods
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -78,6 +80,79 @@ func init() {
 	transport.RegisterWireType(&StoredObject{})
 }
 
+// ClipRegion implements transport.RegionClipper: it appends the cells of
+// sub ∩ Region onto dst as big-endian float64 bits, row-major over the
+// intersection, so a scatter-gather server ships exactly the bytes a
+// sub-box read asked for instead of the whole block. An empty
+// intersection appends nothing.
+func (o *StoredObject) ClipRegion(dst []byte, sub geometry.BBox) ([]byte, error) {
+	if sub.Dim() != o.Region.Dim() {
+		return nil, fmt.Errorf("cods: clip rank %d against stored rank %d", sub.Dim(), o.Region.Dim())
+	}
+	clip, ok := sub.Intersect(o.Region)
+	if !ok {
+		return dst, nil
+	}
+	last := clip.Dim() - 1
+	runLen := clip.Size(last)
+	p := clip.Min.Clone()
+	for {
+		so := o.Region.Offset(p)
+		for i := int64(0); i < int64(runLen); i++ {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(o.Data[so+i]))
+		}
+		d := last - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < clip.Max[d] {
+				break
+			}
+			p[d] = clip.Min[d]
+			d--
+		}
+		if d < 0 {
+			return dst, nil
+		}
+	}
+}
+
+// copySegment scatters an owner-clipped segment — big-endian float64 cell
+// bits, row-major over sub, as ClipRegion produces — into dst (row-major
+// over dstBox). The segment must carry exactly sub's cells: the schedule
+// guarantees every requested sub-box lies inside the stored block, so a
+// shorter segment means the wire lost data.
+func copySegment(dst []float64, dstBox geometry.BBox, seg []byte, sub geometry.BBox) error {
+	if want := sub.Volume() * ElemSize; int64(len(seg)) != want {
+		return fmt.Errorf("cods: segment for %v carries %d bytes, want %d", sub, len(seg), want)
+	}
+	if sub.Empty() {
+		return nil
+	}
+	last := sub.Dim() - 1
+	runLen := sub.Size(last)
+	p := sub.Min.Clone()
+	off := 0
+	for {
+		do := dstBox.Offset(p)
+		for i := int64(0); i < int64(runLen); i++ {
+			dst[do+i] = math.Float64frombits(binary.BigEndian.Uint64(seg[off:]))
+			off += ElemSize
+		}
+		d := last - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] < sub.Max[d] {
+				break
+			}
+			p[d] = sub.Min[d]
+			d--
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
 // Space is the machine-wide CoDS instance.
 type Space struct {
 	fabric *transport.Fabric
@@ -94,6 +169,13 @@ type Space struct {
 	// execution; <= 0 selects runtime.GOMAXPROCS(0). Stored atomically so
 	// handles on other goroutines observe tuning immediately.
 	pullWorkers atomic.Int32
+
+	// batchedPulls gates scatter-gather batching: transfers the fabric
+	// routes through its backend are grouped by owning node and issued as
+	// one ReadMulti per peer (default on). Off is the whole-block ablation
+	// baseline: every routed transfer ships the full stored block and the
+	// puller clips.
+	batchedPulls atomic.Bool
 
 	// Schedule invalidation state: epoch is bumped by Clear (everything
 	// stale), varGen[v] by DiscardSequential of variable v (that
@@ -120,13 +202,23 @@ func NewSpace(f *transport.Fabric, domain geometry.BBox) (*Space, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cods: %w", err)
 	}
-	return &Space{
+	sp := &Space{
 		fabric:  f,
 		lookup:  dht.NewService(f, curve),
 		memUsed: make(map[cluster.CoreID]int64),
 		varGen:  make(map[string]uint64),
-	}, nil
+	}
+	sp.batchedPulls.Store(true)
+	return sp, nil
 }
+
+// SetBatchedPulls toggles scatter-gather batching of routed transfers
+// (on by default). Off restores the unbatched whole-block protocol — the
+// ablation baseline pullbench measures the clipped path against.
+func (sp *Space) SetBatchedPulls(on bool) { sp.batchedPulls.Store(on) }
+
+// BatchedPulls reports whether routed transfers are batched per peer.
+func (sp *Space) BatchedPulls() bool { return sp.batchedPulls.Load() }
 
 // SetPullWorkers bounds the number of concurrent transfers the pull engine
 // issues per get. n <= 0 restores the default, runtime.GOMAXPROCS(0);
@@ -613,13 +705,20 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 	out := make([]float64, region.Volume())
 	m := h.meter()
 	pol := h.sp.RetryPolicy()
+	items := h.partitionPulls(sched)
+	do := func(item pullItem) error {
+		if item.batched {
+			return h.pullBatch(out, region, v, version, item.batch, m, pol)
+		}
+		return h.pullOne(out, region, v, version, item.batch[0], m, pol)
+	}
 	workers := h.sp.PullWorkers()
-	if workers > len(sched) {
-		workers = len(sched)
+	if workers > len(items) {
+		workers = len(items)
 	}
 	if workers <= 1 {
-		for _, tr := range sched {
-			if err := h.pullOne(out, region, v, version, tr, m, pol); err != nil {
+		for _, item := range items {
+			if err := do(item); err != nil {
 				return nil, err
 			}
 		}
@@ -638,10 +737,10 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 			defer wg.Done()
 			for !stop.Load() {
 				i := int(next.Add(1)) - 1
-				if i >= len(sched) {
+				if i >= len(items) {
 					return
 				}
-				if err := h.pullOne(out, region, v, version, sched[i], m, pol); err != nil {
+				if err := do(items[i]); err != nil {
 					errOnce.Do(func() { pullErr = err })
 					stop.Store(true)
 					return
@@ -654,6 +753,103 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 		return nil, pullErr
 	}
 	return out, nil
+}
+
+// pullItem is one unit of work for the pull worker pool: a single
+// unbatched transfer, or a per-peer batch of routed transfers executed as
+// one scatter-gather read.
+type pullItem struct {
+	batch   []transfer
+	batched bool
+}
+
+// partitionPulls groups the transfers the fabric routes through its
+// backend by owning node — one scatter-gather batch per peer, so a
+// coalesced schedule costs one request frame per owner instead of one per
+// sub-box. Unrouted transfers (same-process payload sharing) keep the
+// direct read path; schedule order is preserved within every item.
+func (h *Handle) partitionPulls(sched []transfer) []pullItem {
+	items := make([]pullItem, 0, len(sched))
+	if !h.sp.BatchedPulls() {
+		for _, tr := range sched {
+			items = append(items, pullItem{batch: []transfer{tr}})
+		}
+		return items
+	}
+	machine := h.sp.fabric.Machine()
+	byNode := make(map[cluster.NodeID]int)
+	for _, tr := range sched {
+		if !h.sp.fabric.Routed(h.core, tr.Owner) {
+			items = append(items, pullItem{batch: []transfer{tr}})
+			continue
+		}
+		node := machine.NodeOf(tr.Owner)
+		i, ok := byNode[node]
+		if !ok {
+			i = len(items)
+			byNode[node] = i
+			items = append(items, pullItem{batched: true})
+		}
+		items[i].batch = append(items[i].batch, tr)
+	}
+	return items
+}
+
+// pullBatch executes one per-peer batch as a single scatter-gather read:
+// one request frame carries every sub-box, the owner clips each region
+// server-side and streams the segments back, and the delivery callback
+// scatters them straight into the output slots. The whole batch shares
+// one retry budget (seeded from its first transfer); the in-process
+// fallback delivers full payloads, which are clipped here exactly like
+// the unbatched path.
+func (h *Handle) pullBatch(out []float64, region geometry.BBox, v string, version int, batch []transfer, m transport.Meter, pol retry.Policy) error {
+	specs := make([]transport.ReadSpec, len(batch))
+	for i, tr := range batch {
+		specs[i] = transport.ReadSpec{
+			Owner: tr.Owner,
+			Key:   bufKey(v, tr.StoredBox, version),
+			Sub:   tr.Sub,
+			Bytes: tr.Sub.Volume() * ElemSize,
+		}
+	}
+	attempts, err := retry.Do(pol, transferSeed(h.core, batch[0], version), retryableTransfer,
+		func(d time.Duration) { obsPullBackoffNs.Observe(d.Nanoseconds()) },
+		func(attempt int) error {
+			if attempt > 1 {
+				obsPullRetries.Inc()
+				if t := h.sp.tracer.Load(); t != nil {
+					t.Event(h.spanParent, "retry:pull:"+v)
+				}
+			}
+			var start time.Time
+			if obs.Enabled() {
+				start = time.Now()
+			}
+			rerr := h.endpoint().ReadMulti(specs, m, func(i int, payload any, clipped []byte) error {
+				tr := batch[i]
+				if payload != nil {
+					obj := payload.(*StoredObject)
+					copyRegion(out, region, obj.Data, obj.Region, tr.Sub)
+					return nil
+				}
+				return copySegment(out, region, clipped, tr.Sub)
+			})
+			if !start.IsZero() {
+				obsTransferNs.Observe(time.Since(start).Nanoseconds())
+			}
+			return rerr
+		})
+	if err != nil {
+		return &PullError{Var: v, Version: version, Sub: batch[0].Sub, Owner: batch[0].Owner,
+			Attempts: attempts, Err: err}
+	}
+	if attempts > 1 {
+		obsPullRecoveries.Inc()
+		if t := h.sp.tracer.Load(); t != nil {
+			t.Event(h.spanParent, "recovered:pull:"+v)
+		}
+	}
+	return nil
 }
 
 // pullOne performs one receiver-driven transfer of a schedule, copying the

@@ -41,10 +41,18 @@ const (
 	// TCPMeterClass swaps the InterApp and Control meter classes on the
 	// TCP wire, so the serving side books coupled data as control traffic.
 	TCPMeterClass = "tcp-meter-class"
+	// TCPSGDrop makes the scatter-gather server announce and stream one
+	// segment fewer than requested, as if the batch had swallowed its last
+	// sub-box — the batched twin of DropCoalesce, living on the wire.
+	TCPSGDrop = "tcp-sg-drop"
+	// TCPSGReorder swaps the payloads of the first two scatter-gather
+	// segments while keeping their indices intact: the stream stays
+	// protocol-valid but delivers the wrong bytes into each slot.
+	TCPSGReorder = "tcp-sg-reorder"
 )
 
 // Names lists every seeded defect, in a stable order.
 func Names() []string {
 	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
-		TCPTruncFrame, TCPMeterClass}
+		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder}
 }

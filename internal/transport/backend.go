@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/geometry"
 )
 
 // Backend moves data between endpoints on behalf of the fabric. Initiating
@@ -39,6 +40,17 @@ type Backend interface {
 	// wait it blocks until the buffer is published; without, ok reports
 	// whether it was.
 	Read(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, wait bool) (payload any, ok bool, err error)
+	// ReadMulti pulls several exposed sub-regions in one batched
+	// operation, blocking until every buffer is published. All specs must
+	// target owners whose endpoint state lives behind the same peer, so a
+	// network backend can serve the whole batch with a single request
+	// frame. Each spec is metered individually on the executing side,
+	// exactly as a Read of spec.Bytes would be. deliver is invoked once
+	// per spec, in spec order, with either the owner's full exposed
+	// payload (an in-process backend, where the reader clips) or the
+	// owner-clipped raw cell bytes of spec.Sub (a network backend); the
+	// clipped slice is only valid for the duration of the call.
+	ReadMulti(reader cluster.CoreID, specs []ReadSpec, m Meter, deliver SegmentFunc) error
 	// Call performs a synchronous RPC against a service on dst.
 	Call(src, dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error)
 	// Expose / Unexpose / Exposed manage owner's one-sided buffers.
@@ -47,6 +59,34 @@ type Backend interface {
 	Exposed(owner cluster.CoreID, key BufKey) (bool, error)
 	// Close releases the backend's resources (connections, listeners).
 	Close() error
+}
+
+// ReadSpec is one element of a batched ReadMulti: pull the cells of Sub
+// out of the buffer Key exposed by Owner. Bytes is the metered volume of
+// the transfer — like Read's n argument, it is what the executing side
+// records, so schedule-predicted accounting is identical across backends.
+type ReadSpec struct {
+	Owner cluster.CoreID
+	Key   BufKey
+	Sub   geometry.BBox
+	Bytes int64
+}
+
+// SegmentFunc consumes the result of one ReadSpec of a batch. Exactly one
+// of payload and clipped is set: payload is the owner's full exposed
+// buffer (the reader clips, as with Read), clipped is the owner-clipped
+// raw cell data of the spec's sub-box — Sub intersected with the exposed
+// region, row-major, big-endian float64 bits. clipped is only valid until
+// the callback returns; implementations reuse the buffer.
+type SegmentFunc func(i int, payload any, clipped []byte) error
+
+// RegionClipper is implemented by exposed payloads that support
+// owner-side clipping: ClipRegion appends the raw bytes of the cells of
+// sub (clipped to the payload's own region) to dst and returns the
+// extended slice. A network backend serving a ReadMulti uses it to put
+// only the requested bytes on the wire instead of the whole buffer.
+type RegionClipper interface {
+	ClipRegion(dst []byte, sub geometry.BBox) ([]byte, error)
 }
 
 // Routing modes. routeLocal is the fast path: no backend consulted at all.
@@ -100,6 +140,38 @@ func (f *Fabric) routed(initiator, target cluster.CoreID) bool {
 	default:
 		return f.backend.Remote(initiator, target)
 	}
+}
+
+// Routed reports whether data initiated by initiator against the state
+// of target would traverse a real wire — the backend's Remote predicate.
+// The pull engine uses it to group remote transfers into batched per-peer
+// reads while keeping in-process transfers on the direct path. Unlike the
+// internal dispatch decision it deliberately ignores ForceBackendRouting:
+// that toggle changes how an operation is dispatched, not where the data
+// lives, and batching in-process transfers would serialize reads that the
+// worker pool otherwise overlaps.
+func (f *Fabric) Routed(initiator, target cluster.CoreID) bool {
+	if f.routeMode.Load() == routeLocal {
+		return false
+	}
+	return f.backend.Remote(initiator, target)
+}
+
+// LocalReadMulti is the executing side of ReadMulti against owner
+// endpoints in this process: each spec is a blocking LocalRead metered at
+// spec.Bytes, delivered as the full exposed payload for the reader to
+// clip — observationally identical to issuing the Reads one by one.
+func (f *Fabric) LocalReadMulti(reader cluster.CoreID, specs []ReadSpec, m Meter, deliver SegmentFunc) error {
+	for i, spec := range specs {
+		payload, _, err := f.LocalRead(reader, spec.Owner, spec.Key, m, spec.Bytes, true)
+		if err != nil {
+			return err
+		}
+		if err := deliver(i, payload, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // LocalSend is the executing side of Send: it meters the transfer and
@@ -267,6 +339,10 @@ func (b localBackend) Recv(on, src cluster.CoreID, tag uint64) (Message, error) 
 
 func (b localBackend) Read(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, wait bool) (any, bool, error) {
 	return b.f.LocalRead(reader, owner, key, m, n, wait)
+}
+
+func (b localBackend) ReadMulti(reader cluster.CoreID, specs []ReadSpec, m Meter, deliver SegmentFunc) error {
+	return b.f.LocalReadMulti(reader, specs, m, deliver)
 }
 
 func (b localBackend) Call(src, dst cluster.CoreID, service string, request any, m Meter, reqBytes, respBytes int64) (any, error) {

@@ -36,3 +36,29 @@ func FuzzWireFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSpecs holds the scatter-gather spec codec to the same bar: the
+// strict decoder never panics, and any spec list it accepts re-encodes to
+// exactly the input bytes.
+func FuzzReadSpecs(f *testing.F) {
+	f.Add(sampleSpecPayload())
+	empty, _ := appendReadSpecs(nil, nil)
+	f.Add(empty)
+	f.Add(sampleSpecPayload()[:7])                     // truncated mid-spec
+	f.Add(append(append([]byte(nil), empty...), 0x01)) // trailing byte
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})              // hostile count
+	f.Add(bytes.Repeat([]byte{0x00}, 64))              // zero soup
+	f.Fuzz(func(t *testing.T, body []byte) {
+		specs, err := decodeReadSpecs(body)
+		if err != nil {
+			return
+		}
+		out, err := appendReadSpecs(nil, specs)
+		if err != nil {
+			t.Fatalf("accepted specs fail to re-encode: %v", err)
+		}
+		if !bytes.Equal(out, body) {
+			t.Fatalf("accepted spec list is not canonical:\nin  %x\nout %x", body, out)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package tcpnet
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// fillCells produces deterministic row-major data for a region.
+func fillCells(b geometry.BBox) []float64 {
+	data := make([]float64, b.Volume())
+	i := 0
+	b.Each(func(p geometry.Point) {
+		v := 0.0
+		for _, x := range p {
+			v = v*1000 + float64(x)
+		}
+		data[i] = v
+		i++
+	})
+	return data
+}
+
+// TestReadMultiClipsOnOwner drives the scatter-gather op end to end over
+// loopback sockets: the owner must clip each requested sub-box out of its
+// exposed block and stream exactly those cells — including the edge cases
+// of an empty intersection, a single cell and the full block.
+func TestReadMultiClipsOnOwner(t *testing.T) {
+	f, _ := newLoopbackFabric(t, 2, 1)
+	m := transport.Meter{Phase: "t", Class: cluster.InterApp, DstApp: 2}
+	region := geometry.NewBBox(geometry.Point{4, 4}, geometry.Point{8, 8})
+	obj := &cods.StoredObject{Region: region, Data: fillCells(region)}
+	key := transport.BufKey{Name: "v", Version: 1}
+	if err := f.Endpoint(1).Expose(key, obj); err != nil {
+		t.Fatal(err)
+	}
+	subs := []geometry.BBox{
+		geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{4, 4}), // empty intersection
+		geometry.NewBBox(geometry.Point{4, 4}, geometry.Point{5, 5}), // single cell
+		region, // full block
+		geometry.NewBBox(geometry.Point{5, 5}, geometry.Point{7, 8}), // strided interior
+	}
+	specs := make([]transport.ReadSpec, len(subs))
+	for i, sub := range subs {
+		clip, _ := sub.Intersect(region)
+		specs[i] = transport.ReadSpec{Owner: 1, Key: key, Sub: sub, Bytes: clip.Volume() * cods.ElemSize}
+	}
+	got := make([][]byte, len(subs))
+	err := f.Endpoint(0).ReadMulti(specs, m, func(i int, payload any, clipped []byte) error {
+		if payload != nil {
+			t.Errorf("segment %d delivered a full payload over the wire", i)
+		}
+		got[i] = append([]byte(nil), clipped...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sub := range subs {
+		clip, ok := sub.Intersect(region)
+		if !ok {
+			if len(got[i]) != 0 {
+				t.Fatalf("segment %d: empty intersection carried %d bytes", i, len(got[i]))
+			}
+			continue
+		}
+		want, err := obj.ClipRegion(nil, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[i]) != string(want) {
+			t.Fatalf("segment %d (%v): clipped bytes differ from owner-side reference", i, clip)
+		}
+		if int64(len(got[i])) != clip.Volume()*cods.ElemSize {
+			t.Fatalf("segment %d: %d bytes, want %d", i, len(got[i]), clip.Volume()*cods.ElemSize)
+		}
+	}
+}
+
+// TestBatchedPullFrameCount is the frame-count probe of the acceptance
+// criteria: a coalesced multi-transfer pull over the TCP backend issues
+// exactly one scatter-gather request per owning peer and zero whole-block
+// reads, and the bytes its server clips equal the schedule-predicted byte
+// count. Turning batching off restores one whole-block read per transfer
+// and moves strictly more bytes over the wire.
+func TestBatchedPullFrameCount(t *testing.T) {
+	f, b := newLoopbackFabric(t, 2, 2)
+	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two producer blocks, both owned by node 1.
+	for i, core := range []cluster.CoreID{2, 3} {
+		blk := geometry.NewBBox(geometry.Point{8 * i}, geometry.Point{8 * (i + 1)})
+		h := sp.HandleAt(core, 1, "put")
+		if err := h.PutSequential("v", 0, blk, fillCells(blk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An inset get region: both sub-boxes are smaller than their stored
+	// blocks, so clipping must shrink the wire traffic.
+	get := geometry.NewBBox(geometry.Point{3}, geometry.Point{13})
+	h := sp.HandleAt(0, 2, "get")
+	before := b.WireStats()
+	out, err := h.GetSequential("v", 0, get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillCells(get)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("cell %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+	after := b.WireStats()
+	if n := after.ReadMultiRequests - before.ReadMultiRequests; n != 1 {
+		t.Errorf("batched pull issued %d scatter-gather requests, want 1 (one per owning peer)", n)
+	}
+	if n := after.ReadRequests - before.ReadRequests; n != 0 {
+		t.Errorf("batched pull issued %d whole-block reads, want 0", n)
+	}
+	predicted := get.Volume() * cods.ElemSize
+	if n := after.SegmentBytesServed - before.SegmentBytesServed; n != predicted {
+		t.Errorf("served %d clipped bytes, want the schedule-predicted %d", n, predicted)
+	}
+	if n := after.SegmentsServed - before.SegmentsServed; n != 2 {
+		t.Errorf("served %d segments, want 2", n)
+	}
+	batchedWire := (after.BytesIn - before.BytesIn) + (after.BytesOut - before.BytesOut)
+
+	// Ablation: the whole-block protocol for the same pull.
+	sp.SetBatchedPulls(false)
+	h2 := sp.HandleAt(1, 2, "get")
+	before = b.WireStats()
+	if _, err := h2.GetSequential("v", 0, get); err != nil {
+		t.Fatal(err)
+	}
+	after = b.WireStats()
+	if n := after.ReadRequests - before.ReadRequests; n != 2 {
+		t.Errorf("unbatched pull issued %d whole-block reads, want 2", n)
+	}
+	if n := after.ReadMultiRequests - before.ReadMultiRequests; n != 0 {
+		t.Errorf("unbatched pull issued %d scatter-gather requests, want 0", n)
+	}
+	wholeBlockWire := (after.BytesIn - before.BytesIn) + (after.BytesOut - before.BytesOut)
+	if wholeBlockWire <= batchedWire {
+		t.Errorf("whole-block protocol moved %d wire bytes, batched clipped path %d — clipping saved nothing",
+			wholeBlockWire, batchedWire)
+	}
+}
+
+// TestHandshakeRejectsOldWireVersion proves the old-peer policy of DESIGN
+// §5f: a v1 client is turned away at the handshake with a version error —
+// there is no per-op fallback that could strand it mid-stream.
+func TestHandshakeRejectsOldWireVersion(t *testing.T) {
+	_, b := newLoopbackFabric(t, 1, 1)
+	c, err := net.Dial("tcp", b.Addr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hello := &frame{Op: opHello, Dst: 0, Tag: helloMagic, Version: 1, Bytes: 1, Bytes2: 1}
+	if err := writeFrame(c, hello); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != statusErr || !strings.Contains(resp.Err, "wire version") {
+		t.Fatalf("v1 hello answered with status %d, err %q; want a wire version rejection", resp.Status, resp.Err)
+	}
+}
+
+// TestReadSpecsRoundTrip pins the spec codec: encode/decode is the
+// identity and the decoder is strict about truncation and trailing bytes.
+func TestReadSpecsRoundTrip(t *testing.T) {
+	specs := []transport.ReadSpec{
+		{Owner: 3, Key: transport.BufKey{Name: "temperature|[0,8)", Version: 7},
+			Sub: geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{5, 6}), Bytes: 128},
+		{Owner: 0, Key: transport.BufKey{Name: "v", Version: 0},
+			Sub: geometry.NewBBox(geometry.Point{0}, geometry.Point{1}), Bytes: 8},
+	}
+	buf, err := appendReadSpecs(nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeReadSpecs(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("decoded %d specs, want %d", len(got), len(specs))
+	}
+	for i := range specs {
+		if got[i].Owner != specs[i].Owner || got[i].Key != specs[i].Key ||
+			got[i].Bytes != specs[i].Bytes || !got[i].Sub.Equal(specs[i].Sub) {
+			t.Fatalf("spec %d round-tripped to %+v, want %+v", i, got[i], specs[i])
+		}
+	}
+	for n := 0; n < len(buf); n++ {
+		if _, err := decodeReadSpecs(buf[:n]); err == nil {
+			t.Fatalf("decoder accepted %d-byte prefix of a %d-byte spec list", n, len(buf))
+		}
+	}
+	if _, err := decodeReadSpecs(append(buf, 0)); err == nil {
+		t.Fatal("decoder accepted trailing byte")
+	}
+}

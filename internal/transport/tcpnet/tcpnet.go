@@ -5,12 +5,14 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/mutate"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
 )
@@ -55,8 +57,59 @@ type Backend struct {
 	wg        sync.WaitGroup
 	closed    atomic.Bool
 
+	stats struct {
+		bytesOut, bytesIn           atomic.Int64
+		readRequests, readMultiReqs atomic.Int64
+		segments, segmentBytes      atomic.Int64
+	}
+
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
+}
+
+// WireStats is a snapshot of a backend's wire-level counters: the bytes
+// written to and read from its dialed (client-side) connections,
+// handshakes included; the one-sided read request frames it issued, by
+// kind; and the scatter-gather segments its server side clipped and
+// streamed. In loopback mode one backend is both sides, so a probe sees
+// the whole exchange; in a multi-process deployment each process reports
+// its own half.
+type WireStats struct {
+	BytesOut, BytesIn               int64
+	ReadRequests, ReadMultiRequests int64
+	SegmentsServed                  int64
+	SegmentBytesServed              int64
+}
+
+// WireStats returns the current wire counter snapshot.
+func (b *Backend) WireStats() WireStats {
+	return WireStats{
+		BytesOut:           b.stats.bytesOut.Load(),
+		BytesIn:            b.stats.bytesIn.Load(),
+		ReadRequests:       b.stats.readRequests.Load(),
+		ReadMultiRequests:  b.stats.readMultiReqs.Load(),
+		SegmentsServed:     b.stats.segments.Load(),
+		SegmentBytesServed: b.stats.segmentBytes.Load(),
+	}
+}
+
+// countingConn charges every read and write on a dialed connection to the
+// backend's byte counters.
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 func newBackend(f *transport.Fabric, cfg Config) *Backend {
@@ -199,10 +252,11 @@ func (b *Backend) dial(node cluster.NodeID) (net.Conn, error) {
 	var conn net.Conn
 	retryable := func(err error) bool { return !errors.Is(err, errHandshake) }
 	_, err := retry.Do(b.cfg.Retry, uint64(node)*0x9e3779b97f4a7c15, retryable, nil, func(int) error {
-		c, err := net.DialTimeout("tcp", addr, b.ioTimeout())
+		raw, err := net.DialTimeout("tcp", addr, b.ioTimeout())
 		if err != nil {
 			return err
 		}
+		c := countingConn{Conn: raw, in: &b.stats.bytesIn, out: &b.stats.bytesOut}
 		if err := b.handshake(c, node); err != nil {
 			c.Close()
 			return err
@@ -381,11 +435,12 @@ func (b *Backend) Recv(on, src cluster.CoreID, tag uint64) (transport.Message, e
 	return transport.Message{Src: cluster.CoreID(resp.Src), Tag: resp.Tag, Payload: resp.Payload}, nil
 }
 
-// Read implements transport.Backend: the owning side clips nothing — the
-// whole exposed buffer is shipped and the reader's callback copies its
-// region out, exactly like the in-process payload sharing (server-side
-// clipping is future work tracked in DESIGN §5f).
+// Read implements transport.Backend: the single-buffer read ships the
+// whole exposed buffer and the reader's callback copies its region out,
+// exactly like the in-process payload sharing. Sub-box reads that should
+// move only clipped bytes go through ReadMulti (DESIGN §5f).
 func (b *Backend) Read(reader, owner cluster.CoreID, key transport.BufKey, m transport.Meter, n int64, wait bool) (any, bool, error) {
+	b.stats.readRequests.Add(1)
 	fr := &frame{Op: opRead, Src: int32(reader), Dst: int32(owner), Name: key.Name, Version: int64(key.Version), Bytes: n}
 	meterFrame(fr, m)
 	if wait {
@@ -406,6 +461,104 @@ func (b *Backend) Read(reader, owner cluster.CoreID, key transport.BufKey, m tra
 		return nil, false, err
 	}
 	return payload, true, nil
+}
+
+// ReadMulti implements transport.Backend: one scatter-gather request
+// frame carries the whole batch to the node serving the owners; the
+// response header announces the segment count and the pipelined stream
+// behind it delivers each owner-clipped sub-box straight to the caller.
+// The redial rule matches roundTrip: only a request that never hit the
+// wire on a cached connection is retried on a fresh one.
+func (b *Backend) ReadMulti(reader cluster.CoreID, specs []transport.ReadSpec, m transport.Meter, deliver transport.SegmentFunc) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	node := b.machine.NodeOf(specs[0].Owner)
+	bp := getBuf()
+	defer putBuf(bp)
+	payload, err := appendReadSpecs((*bp)[:0], specs)
+	if err != nil {
+		return err
+	}
+	*bp = payload[:0]
+	fr := &frame{Op: opReadMulti, Src: int32(reader), Dst: int32(specs[0].Owner), Payload: payload}
+	meterFrame(fr, m)
+	b.stats.readMultiReqs.Add(1)
+	for {
+		c, cached, err := b.conn(node)
+		if err != nil {
+			return err
+		}
+		wrote, err := b.readMultiExchange(c, fr, specs, deliver)
+		if err != nil {
+			c.Close()
+			if cached && !wrote {
+				continue // stale pooled connection; redial
+			}
+			return fmt.Errorf("tcpnet: scatter-gather read from node %d: %w", node, err)
+		}
+		b.release(node, c)
+		return nil
+	}
+}
+
+// readMultiExchange writes one scatter-gather request and consumes its
+// response stream, delivering each segment through a pooled staging
+// buffer that is only valid for the duration of the callback.
+func (b *Backend) readMultiExchange(c net.Conn, fr *frame, specs []transport.ReadSpec, deliver transport.SegmentFunc) (wrote bool, err error) {
+	if d := b.ioTimeout(); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := writeFrame(c, fr); err != nil {
+		return false, err
+	}
+	// The stream legitimately blocks until every buffer is exposed; no
+	// read deadline, exactly like a waiting opRead.
+	c.SetReadDeadline(time.Time{})
+	resp, err := readFrame(c, b.cfg.MaxFrame)
+	if err != nil {
+		return true, err
+	}
+	if resp.Op != opResp {
+		return true, fmt.Errorf("unexpected response op %d", resp.Op)
+	}
+	if err := respErr(resp); err != nil {
+		return true, err
+	}
+	if int(resp.Bytes) != len(specs) {
+		return true, fmt.Errorf("response announces %d segments, want %d", resp.Bytes, len(specs))
+	}
+	bp := getBuf()
+	defer putBuf(bp)
+	for i := range specs {
+		status, index, length, err := readSegmentHeader(c, b.cfg.MaxFrame)
+		if err != nil {
+			return true, err
+		}
+		if index != i {
+			return true, fmt.Errorf("segment %d arrived at position %d", index, i)
+		}
+		var body []byte
+		if length <= maxPooledBuf {
+			body = grownBuf(bp, length)
+		} else {
+			body = make([]byte, length)
+		}
+		if _, err := io.ReadFull(c, body); err != nil {
+			return true, err
+		}
+		switch status {
+		case statusOK:
+		case statusClosed:
+			return true, fmt.Errorf("%s: %w", string(body), transport.ErrEndpointClosed)
+		default:
+			return true, fmt.Errorf("remote: %s", string(body))
+		}
+		if err := deliver(i, nil, body); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
 }
 
 // Call implements transport.Backend.
@@ -633,6 +786,15 @@ func (b *Backend) serveConn(c net.Conn) {
 		if err != nil {
 			return
 		}
+		if fr.Op == opReadMulti {
+			// The scatter-gather response is a header frame plus a raw
+			// segment stream, not a single frame; it writes to the
+			// connection itself.
+			if !b.serveReadMulti(c, fr) {
+				return
+			}
+			continue
+		}
 		resp := b.execute(fr)
 		if err := writeFrame(c, resp); err != nil {
 			return
@@ -642,6 +804,121 @@ func (b *Backend) serveConn(c net.Conn) {
 			return
 		}
 	}
+}
+
+// serveReadMulti executes one scatter-gather read: validate the batch,
+// announce the segment count in an ordinary response frame, then clip
+// each requested sub-box out of its exposed buffer and stream the
+// segments. Each spec is metered through LocalRead exactly as its
+// unbatched read would be — on this side, the side moving the bytes. The
+// return value reports whether the connection is still in protocol sync;
+// a failure after the header frame is not (the client was promised
+// segments), so the stream is aborted with an error segment and the
+// connection dropped.
+func (b *Backend) serveReadMulti(c net.Conn, fr *frame) bool {
+	headerFail := func(err error) bool {
+		resp := &frame{Op: opResp, Err: err.Error()}
+		if errors.Is(err, transport.ErrEndpointClosed) {
+			resp.Status = statusClosed
+		} else {
+			resp.Status = statusErr
+		}
+		// A pre-stream failure is an ordinary request/response exchange;
+		// the connection stays usable.
+		return writeFrame(c, resp) == nil
+	}
+	if err := b.checkCore(fr.Src, false); err != nil {
+		return headerFail(err)
+	}
+	specs, err := decodeReadSpecs(fr.Payload)
+	if err != nil {
+		return headerFail(err)
+	}
+	for _, spec := range specs {
+		if err := b.checkTarget(int32(spec.Owner)); err != nil {
+			return headerFail(err)
+		}
+	}
+	count := len(specs)
+	if mutate.Enabled(mutate.TCPSGDrop) && count > 1 {
+		// Seeded defect: the batch swallows its last sub-box — announced
+		// and streamed one segment short.
+		count--
+		specs = specs[:count]
+	}
+	if err := writeFrame(c, &frame{Op: opResp, Status: statusOK, Bytes: int64(count)}); err != nil {
+		return false
+	}
+	m := frameMeter(fr)
+	reader := cluster.CoreID(fr.Src)
+	clip := func(spec transport.ReadSpec, dst []byte) ([]byte, error) {
+		payload, _, err := b.fabric.LocalRead(reader, spec.Owner, spec.Key, m, spec.Bytes, true)
+		if err != nil {
+			return nil, err
+		}
+		clipper, ok := payload.(transport.RegionClipper)
+		if !ok {
+			return nil, fmt.Errorf("tcpnet: exposed payload %T cannot clip regions", payload)
+		}
+		return clipper.ClipRegion(dst, spec.Sub)
+	}
+	if mutate.Enabled(mutate.TCPSGReorder) && count >= 2 {
+		// Seeded defect: the stream keeps its indices but exchanges the
+		// first two payloads — protocol-valid, wrong bytes in each slot.
+		bodies := make([][]byte, count)
+		for i, spec := range specs {
+			body, err := clip(spec, nil)
+			if err != nil {
+				_ = b.writeErrSegment(c, i, err)
+				return false
+			}
+			bodies[i] = body
+		}
+		bodies[0], bodies[1] = bodies[1], bodies[0]
+		for i, body := range bodies {
+			if err := b.writeDataSegment(c, i, body); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	bp := getBuf()
+	defer putBuf(bp)
+	for i, spec := range specs {
+		body, err := clip(spec, (*bp)[:0])
+		if err != nil {
+			_ = b.writeErrSegment(c, i, err)
+			return false
+		}
+		if err := b.writeDataSegment(c, i, body); err != nil {
+			return false
+		}
+		// The clip may have grown the staging buffer; keep the larger one.
+		if cap(body) > cap(*bp) {
+			*bp = body[:0]
+		}
+	}
+	return true
+}
+
+func (b *Backend) writeDataSegment(c net.Conn, i int, body []byte) error {
+	b.stats.segments.Add(1)
+	b.stats.segmentBytes.Add(int64(len(body)))
+	if d := b.ioTimeout(); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeSegment(c, statusOK, i, body)
+}
+
+func (b *Backend) writeErrSegment(c net.Conn, i int, err error) error {
+	status := statusErr
+	if errors.Is(err, transport.ErrEndpointClosed) {
+		status = statusClosed
+	}
+	if d := b.ioTimeout(); d > 0 {
+		c.SetWriteDeadline(time.Now().Add(d))
+	}
+	return writeSegment(c, status, i, []byte(err.Error()))
 }
 
 // checkCore validates a wire-supplied core id; allowAny admits the

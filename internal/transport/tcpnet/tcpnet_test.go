@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
 )
@@ -67,7 +68,28 @@ func sampleFrames() []*frame {
 			MeterClass: uint8(cluster.Control), Payload: []byte{1, 2, 3}},
 		{Op: opResp, Status: statusErr, Err: "transport: endpoint closed"},
 		{Op: opResp, Status: statusOK, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+		{Op: opReadMulti, Src: 2, Dst: 6, MeterClass: uint8(cluster.InterApp), DstApp: 2,
+			Phase: "couple:3", Payload: sampleSpecPayload()},
+		// The scatter-gather response header: Bytes announces the segment
+		// count of the raw stream that follows the frame.
+		{Op: opResp, Status: statusOK, Bytes: 2},
 	}
+}
+
+// sampleSpecPayload is the encoded spec list of a representative
+// scatter-gather request: two sub-boxes of one variable on one peer.
+func sampleSpecPayload() []byte {
+	specs := []transport.ReadSpec{
+		{Owner: 6, Key: transport.BufKey{Name: "temperature|[0,8)x[0,8)", Version: 3},
+			Sub: geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{5, 6}), Bytes: 128},
+		{Owner: 7, Key: transport.BufKey{Name: "temperature|[8,16)x[0,8)", Version: 3},
+			Sub: geometry.NewBBox(geometry.Point{8, 0}, geometry.Point{9, 8}), Bytes: 64},
+	}
+	buf, err := appendReadSpecs(nil, specs)
+	if err != nil {
+		panic(err)
+	}
+	return buf
 }
 
 func TestWireRoundTrip(t *testing.T) {

@@ -332,6 +332,35 @@ func (ep *Endpoint) Read(owner cluster.CoreID, key BufKey, m Meter, bytes int64,
 	return nil
 }
 
+// ReadMulti performs a batched receiver-driven pull of several exposed
+// sub-regions in one operation, blocking until every buffer is
+// published. All specs must target owner endpoints living behind the
+// same peer (for the network backends, owners on one node), which lets a
+// network backend issue a single request frame for the whole batch and
+// clip every region on the owning side. Each spec is metered at
+// spec.Bytes on the executing side, exactly like an individual Read, and
+// each spec matches fault rules individually, so a batch observes the
+// same injected faults as the equivalent sequence of Reads. deliver runs
+// once per spec in spec order; see SegmentFunc for the payload-vs-clipped
+// contract.
+func (ep *Endpoint) ReadMulti(specs []ReadSpec, m Meter, deliver SegmentFunc) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	for _, spec := range specs {
+		if int(spec.Owner) < 0 || int(spec.Owner) >= len(ep.fabric.endpoints) {
+			return fmt.Errorf("transport: owner core %d out of range", spec.Owner)
+		}
+		if err := ep.fabric.inject(FaultRead, int(ep.fabric.medium(spec.Owner, ep.core)), ep.core, spec.Owner); err != nil {
+			return err
+		}
+	}
+	if ep.fabric.routed(ep.core, specs[0].Owner) {
+		return ep.fabric.backend.ReadMulti(ep.core, specs, m, deliver)
+	}
+	return ep.fabric.LocalReadMulti(ep.core, specs, m, deliver)
+}
+
 // TryRead is Read without blocking: it returns false when the buffer is not
 // yet published.
 func (ep *Endpoint) TryRead(owner cluster.CoreID, key BufKey, m Meter, bytes int64, read func(payload any)) (bool, error) {

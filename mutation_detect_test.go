@@ -131,6 +131,21 @@ func mutationScenario(name string) genwf.Scenario {
 			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
 			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
 		}
+	case mutate.TCPSGDrop, mutate.TCPSGReorder:
+		// Four producer blocks over a 2x2 machine, consumer on core 0:
+		// the blocks on node 1 become one scatter-gather batch of two
+		// segments with different cell data. The drop defect announces and
+		// streams one segment short (the client's count check fails the
+		// pull); the reorder defect swaps the two payloads under intact
+		// indices, which only the cross-backend byte-identity catches.
+		return genwf.Scenario{
+			Seed: 0x12, Nodes: 2, CoresPerNode: 2, Domain: []int{32},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{4},
+			ConsKind: decomp.Blocked, ConsGrid: []int{1},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
 	default:
 		panic("unknown mutation " + name)
 	}
@@ -152,7 +167,8 @@ func TestMutationDetection(t *testing.T) {
 			// The wire defects only exist on the TCP path; they are what
 			// the cross-backend dimension of the sweep must catch.
 			runScenario := conformance.RunOpts
-			if name == mutate.TCPTruncFrame || name == mutate.TCPMeterClass {
+			switch name {
+			case mutate.TCPTruncFrame, mutate.TCPMeterClass, mutate.TCPSGDrop, mutate.TCPSGReorder:
 				runScenario = conformance.RunCrossOpts
 			}
 
