@@ -35,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -197,6 +198,13 @@ func median(ds []time.Duration) time.Duration {
 	return s[len(s)/2]
 }
 
+// A genuine regression makes nearly every pair slower; pure timing
+// noise leaves the sign of each pair at a coin flip. Requiring a
+// supermajority of slower pairs (a paired sign test) on top of the
+// budget keeps the gates' false-positive rate under a percent even on
+// machines whose scheduler jitter dwarfs the budget itself.
+const signBar = 0.7
+
 // wireByteGate asserts the scatter-gather wire protocol ships exactly
 // the bytes the schedule predicts. It stages a small grid behind the TCP
 // loopback backend, retrieves a half-block-inset region (every boundary
@@ -292,6 +300,93 @@ func wireByteGate() error {
 	return nil
 }
 
+// distributedObsGate bounds the enabled cost of the distributed
+// observability plane on the TCP pull path: the metrics registry with its
+// wire-mirror counters, the span trace context every request frame
+// carries, and the remote handler spans the serving side captures for the
+// driver to drain. The toggle flips all three at once — registry on plus
+// a live tracer (which makes every pull stamp its span id into the wire
+// frames and every served operation emit a buffered handler span) versus
+// everything off — so the measured overhead is the full price of running
+// a TCP workload observed end to end.
+func distributedObsGate(reps int, threshold float64) error {
+	const gateTransfers = 16
+	nx := 1
+	for nx*nx < gateTransfers {
+		nx *= 2
+	}
+	ny := gateTransfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	if err != nil {
+		return err
+	}
+	cores := m.TotalCores()
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	region := geometry.NewBBox(
+		geometry.Point{side / 2, side / 2},
+		geometry.Point{nx*side - side/2, ny*side - side/2})
+	consumer := sp.HandleAt(0, 2, "get")
+	b.EnableSpanCapture()
+	tr := obs.NewTracer(io.Discard)
+	set := func(on bool) {
+		obs.Enable(on)
+		if on {
+			sp.SetTracer(tr)
+		} else {
+			sp.SetTracer(nil)
+		}
+	}
+	set(false)
+	_, overhead, slower, err := pairedOverhead(consumer, region, reps, set)
+	if err != nil {
+		return err
+	}
+	// Keep the span buffer bounded; the drain cost is outside the timed
+	// batches by construction.
+	if err := b.DrainRemoteSpans(tr); err != nil {
+		return err
+	}
+	fmt.Printf("tcp pull %d transfers: distributed obs overhead %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		gateTransfers, 100*overhead, 100*slower, 100*threshold)
+	if overhead > threshold && slower >= signBar {
+		return fmt.Errorf("distributed observability overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*overhead, 100*threshold, 100*slower)
+	}
+	return nil
+}
+
 func run(baseline string, reps int, threshold float64) error {
 	sp, consumer, region, err := buildRig()
 	if err != nil {
@@ -345,12 +440,6 @@ func run(baseline string, reps int, threshold float64) error {
 		fmt.Printf("no usable baseline at %s (informational only)\n", baseline)
 	}
 
-	// A genuine regression makes nearly every pair slower; pure timing
-	// noise leaves the sign of each pair at a coin flip. Requiring a
-	// supermajority of slower pairs (a paired sign test) on top of the
-	// budget keeps the gate's false-positive rate under a percent even on
-	// machines whose scheduler jitter dwarfs the budget itself.
-	const signBar = 0.7
 	if overhead > threshold && slowObs >= signBar {
 		return fmt.Errorf("instrumentation overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
 			100*overhead, 100*threshold, 100*slowObs)
@@ -366,7 +455,12 @@ func run(baseline string, reps int, threshold float64) error {
 
 	// Guard 4: the scatter-gather wire protocol moves only what the
 	// schedule predicts.
-	return wireByteGate()
+	if err := wireByteGate(); err != nil {
+		return err
+	}
+
+	// Guard 5: the distributed observability plane on the TCP pull path.
+	return distributedObsGate(reps, threshold)
 }
 
 func main() {

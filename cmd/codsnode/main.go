@@ -9,9 +9,14 @@
 //
 //	CODSNODE LISTEN <address>
 //
-// The driver scrapes that line, distributes the full address table to
+// With -obs-http the child first announces its metrics listener:
+//
+//	CODSNODE OBS <address>
+//
+// The driver scrapes those lines, distributes the full address table to
 // every child, runs the workflow, collects each child's transfer
-// accounting, and asks the children to exit.
+// accounting (and, with -spans, its captured handler spans), and asks the
+// children to exit.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	cods "github.com/insitu/cods"
 	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/transport/tcpnet"
 )
 
@@ -32,39 +38,82 @@ func main() {
 		domainSpec = flag.String("domain", "", "coupled domain size, e.g. 32x32x32 (required)")
 		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		seed       = flag.Int64("seed", 1, "mapping seed; must match the driver")
+		obsOn      = flag.Bool("obs", false, "enable the metrics registry from process start "+
+			"(required for the driver's per-node report reconciliation)")
+		spans = flag.Bool("spans", false, "capture a handler span for every remote operation "+
+			"carrying trace context, for the driver to drain into its merged trace")
+		obsHTTP = flag.String("obs-http", "", "serve the metrics registry over HTTP on this address "+
+			"(announced as CODSNODE OBS)")
+		pprof = flag.Bool("pprof", false, "also serve net/http/pprof handlers on the -obs-http listener")
 	)
 	flag.Parse()
-	if err := run(*node, *nodes, *cores, *domainSpec, *listen, *seed); err != nil {
+	if err := run(nodeOptions{
+		node: *node, nodes: *nodes, cores: *cores,
+		domainSpec: *domainSpec, listen: *listen, seed: *seed,
+		obs: *obsOn, spans: *spans, obsHTTP: *obsHTTP, pprof: *pprof,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "codsnode: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(node, nodes, cores int, domainSpec, listen string, seed int64) error {
-	if node < 0 || nodes < 1 || cores < 1 || domainSpec == "" {
+type nodeOptions struct {
+	node, nodes, cores int
+	domainSpec, listen string
+	seed               int64
+	obs                bool
+	spans              bool
+	obsHTTP            string
+	pprof              bool
+}
+
+func run(o nodeOptions) error {
+	if o.node < 0 || o.nodes < 1 || o.cores < 1 || o.domainSpec == "" {
 		return fmt.Errorf("-node, -nodes, -cores and -domain are required")
 	}
-	domain, err := parseDomain(domainSpec)
+	domain, err := parseDomain(o.domainSpec)
 	if err != nil {
 		return err
 	}
-	fw, err := cods.New(cods.Config{Nodes: nodes, CoresPerNode: cores, Domain: domain, Seed: seed})
+	// Enabled before the fabric or backend exist, so every instrumented
+	// path counts from the first byte and the driver's per-node
+	// reconciliation closes with zero delta.
+	if o.obs || o.obsHTTP != "" {
+		cods.EnableObservability(true)
+		defer cods.EnableObservability(false)
+	}
+	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain, Seed: o.seed})
 	if err != nil {
 		return err
 	}
 	fabric := fw.TransportFabric()
-	be, err := tcpnet.Serve(fabric, cluster.NodeID(node), listen, tcpnet.Config{})
+	be, err := tcpnet.Serve(fabric, cluster.NodeID(o.node), o.listen, tcpnet.Config{})
 	if err != nil {
 		return err
 	}
 	defer be.Close()
+	if o.spans {
+		be.EnableSpanCapture()
+	}
+	if o.obsHTTP != "" {
+		h := obs.NewHandler(obs.Default, obs.HandlerOpts{
+			Flows: func() []cluster.Flow { return fw.MachineInfo().Metrics().Flows("") },
+			Pprof: o.pprof,
+		})
+		srv, err := obs.Serve(o.obsHTTP, h)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("CODSNODE OBS %s\n", srv.Addr())
+	}
 	// Handlers on this node (lookup inserts forwarding results, lock
 	// grants) may themselves target other nodes, so the child routes
 	// through the backend too. Installed before the address is announced:
 	// no operation can arrive while the fabric still routes everything
 	// locally.
 	fabric.SetBackend(be)
-	fmt.Printf("CODSNODE LISTEN %s\n", be.Addr(cluster.NodeID(node)))
+	fmt.Printf("CODSNODE LISTEN %s\n", be.Addr(cluster.NodeID(o.node)))
 	<-be.Done()
 	return nil
 }

@@ -54,6 +54,8 @@ type options struct {
 	reportPath       string
 	spansPath        string
 	obsHTTP          string
+	nodeObsHTTP      string
+	pprof            bool
 	appSpecs         []string
 	faultsPath       string
 	retrySpec        string
@@ -78,6 +80,9 @@ func main() {
 	flag.StringVar(&o.reportPath, "report-path", "results/report.json", "where -report writes the JSON report")
 	flag.StringVar(&o.spansPath, "spans", "", "write parent-linked span events as JSON Lines to this file")
 	flag.StringVar(&o.obsHTTP, "obs-http", "", "serve the metrics registry over HTTP on this address (e.g. :8970)")
+	flag.StringVar(&o.nodeObsHTTP, "node-obs-http", "", "with -backend=tcp, serve each codsnode's registry over HTTP "+
+		"on this address (use port 0 to pick a free port per child)")
+	flag.BoolVar(&o.pprof, "pprof", false, "also serve net/http/pprof handlers on the -obs-http and -node-obs-http listeners")
 	flag.StringVar(&o.faultsPath, "faults", "", "JSON fault plan to inject into the fabric (see ParseFaultPlan)")
 	flag.StringVar(&o.retrySpec, "retry", "", "transfer retry policy: attempt count (e.g. 4) or "+
 		"attempts=4,base=200us,cap=50ms,jitter=0.2,deadline=5s")
@@ -192,6 +197,37 @@ func run(o options) error {
 		return err
 	}
 
+	// Observability: the registry costs one atomic load per hot-path probe
+	// when off, so it is only switched on when some output wants it. It is
+	// enabled before any transport backend starts, so the wire-mirror
+	// counters see every byte (handshakes included) and reconcile exactly
+	// against the backend's own accounting.
+	if o.report || o.obsHTTP != "" || o.nodeObsHTTP != "" {
+		cods.EnableObservability(true)
+		defer cods.EnableObservability(false)
+	}
+	if o.obsHTTP != "" {
+		h := obs.NewHandler(obs.Default, obs.HandlerOpts{
+			Flows: func() []cluster.Flow { return fw.MachineInfo().Metrics().Flows("") },
+			Pprof: o.pprof,
+		})
+		srv, err := obs.Serve(o.obsHTTP, h)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("metrics registry at http://%s/metrics (flow matrix at /flows)\n", srv.Addr())
+	}
+	var spansOut *os.File
+	if o.spansPath != "" {
+		spansOut, err = os.Create(o.spansPath)
+		if err != nil {
+			return err
+		}
+		defer spansOut.Close()
+		fw.SetSpanTrace(spansOut)
+	}
+
 	// Transport backend: with -backend=tcp one codsnode child process is
 	// launched per node and every data operation crosses real sockets.
 	var tcpBE *tcpnet.Backend
@@ -235,30 +271,6 @@ func run(o options) error {
 		fw.SetTaskRetry(cods.TaskRetryPolicy{Policy: pol, Remap: o.taskRemap})
 	} else if o.taskRemap {
 		return fmt.Errorf("-task-remap needs -task-retry > 0")
-	}
-
-	// Observability: the registry costs one atomic load per hot-path probe
-	// when off, so it is only switched on when some output wants it.
-	if o.report || o.obsHTTP != "" {
-		cods.EnableObservability(true)
-		defer cods.EnableObservability(false)
-	}
-	if o.obsHTTP != "" {
-		ln, err := obs.Serve(o.obsHTTP, obs.Default)
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-		fmt.Printf("metrics registry at http://%s/metrics\n", ln.Addr())
-	}
-	var spansOut *os.File
-	if o.spansPath != "" {
-		spansOut, err = os.Create(o.spansPath)
-		if err != nil {
-			return err
-		}
-		defer spansOut.Close()
-		fw.SetSpanTrace(spansOut)
 	}
 
 	// Decomposition declarations come from the DAG file's DECOMP
@@ -360,10 +372,17 @@ func run(o options) error {
 		return err
 	}
 	// Remote endpoint groups meter the transfers they execute; fold their
-	// accounting into the driver before any traffic is reported.
+	// accounting into the driver before any traffic is reported, and
+	// splice the handler spans the children captured into the driver's
+	// trace so the merged file holds one cross-process span tree.
 	if tcpBE != nil {
 		if err := tcpBE.MergeRemoteStats(); err != nil {
 			return fmt.Errorf("collecting remote transfer stats: %w", err)
+		}
+		if tr := fw.SpanTracer(); tr != nil {
+			if err := tcpBE.DrainRemoteSpans(tr); err != nil {
+				return fmt.Errorf("collecting remote spans: %w", err)
+			}
 		}
 	}
 	fmt.Printf("\nworkflow complete: %d bundles, %d tasks, policy %s\n",
@@ -411,7 +430,7 @@ func run(o options) error {
 		fmt.Printf("span trace written to %s\n", o.spansPath)
 	}
 	if o.report {
-		if err := writeReport(fw, d, o, rep); err != nil {
+		if err := writeReport(fw, d, o, rep, tcpBE); err != nil {
 			return err
 		}
 		fmt.Printf("observability report written to %s\n", o.reportPath)
@@ -422,8 +441,12 @@ func run(o options) error {
 // writeReport snapshots the metrics registry and reconciles its transport
 // counters against the fabric's independent per-medium accounting; any
 // mismatch means an instrumented path drifted from the metering choke
-// point.
-func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report) error {
+// point. With -backend=tcp the report additionally carries one section
+// per codsnode process, each reconciling that child's shipped registry
+// snapshot against the fabric stats and wire counters shipped in the
+// same stats reply, plus a driver-side check of the wire-mirror counters
+// against the backend's own byte accounting.
+func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report, tcpBE *tcpnet.Backend) error {
 	r := obs.NewReport("codsrun")
 	r.SetMeta("dag", o.dagPath)
 	r.SetMeta("policy", o.policyName)
@@ -453,6 +476,32 @@ func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report) e
 		cShm, cNet, iShm, iNet := fw.AppTraffic(id)
 		r.SetMeta(fmt.Sprintf("app%d.coupled_bytes", id), fmt.Sprintf("shm=%d network=%d", cShm, cNet))
 		r.SetMeta(fmt.Sprintf("app%d.intra_bytes", id), fmt.Sprintf("shm=%d network=%d", iShm, iNet))
+	}
+	if tcpBE != nil {
+		// The driver's wire-mirror counters are bumped at the same sites
+		// as the backend's own byte accounting, so they must agree.
+		ws := tcpBE.WireStats()
+		r.AddCheck("tcpnet.bytes_out", r.Metrics.Counters["tcpnet.bytes_out"], ws.BytesOut)
+		r.AddCheck("tcpnet.bytes_in", r.Metrics.Counters["tcpnet.bytes_in"], ws.BytesIn)
+		for _, acct := range tcpBE.NodeAccounts() {
+			names := make([]string, len(acct.Nodes))
+			for i, nd := range acct.Nodes {
+				names[i] = fmt.Sprintf("node%d", nd)
+			}
+			n := r.AddNode(strings.Join(names, "+"), acct.Addr, acct.Registry)
+			if !acct.Registry.Enabled {
+				continue // child ran without -obs; nothing to reconcile
+			}
+			c := acct.Registry.Counters
+			n.AddCheck("transport.shm.bytes", c["transport.shm.bytes"], acct.ShmBytes)
+			n.AddCheck("transport.shm.ops", c["transport.shm.ops"], acct.ShmOps)
+			n.AddCheck("transport.network.bytes", c["transport.network.bytes"], acct.NetBytes)
+			n.AddCheck("transport.network.ops", c["transport.network.ops"], acct.NetOps)
+			n.AddCheck("tcpnet.bytes_out", c["tcpnet.bytes_out"], acct.Wire.BytesOut)
+			n.AddCheck("tcpnet.bytes_in", c["tcpnet.bytes_in"], acct.Wire.BytesIn)
+			n.AddCheck("tcpnet.segments.served", c["tcpnet.segments.served"], acct.Wire.SegmentsServed)
+			n.AddCheck("tcpnet.segments.bytes_served", c["tcpnet.segments.bytes_served"], acct.Wire.SegmentBytesServed)
+		}
 	}
 	return r.WriteFile(o.reportPath)
 }
@@ -505,13 +554,30 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backe
 		}
 		return nil, nil, err
 	}
+	args := []string{
+		"-nodes", strconv.Itoa(o.nodes),
+		"-cores", strconv.Itoa(o.cores),
+		"-domain", domSpec,
+	}
+	// Children mirror the driver's observability posture: a reconciled
+	// report needs every child's registry counting from process start, a
+	// span trace needs every child capturing handler spans for the driver
+	// to drain.
+	if o.report || o.nodeObsHTTP != "" {
+		args = append(args, "-obs")
+	}
+	if o.spansPath != "" {
+		args = append(args, "-spans")
+	}
+	if o.nodeObsHTTP != "" {
+		args = append(args, "-obs-http", o.nodeObsHTTP)
+		if o.pprof {
+			args = append(args, "-pprof")
+		}
+	}
 	peers := make(map[cluster.NodeID]string, o.nodes)
 	for node := 0; node < o.nodes; node++ {
-		cmd := exec.Command(bin,
-			"-node", strconv.Itoa(node),
-			"-nodes", strconv.Itoa(o.nodes),
-			"-cores", strconv.Itoa(o.cores),
-			"-domain", domSpec)
+		cmd := exec.Command(bin, append([]string{"-node", strconv.Itoa(node)}, args...)...)
 		cmd.Stderr = os.Stderr
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
@@ -521,13 +587,16 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backe
 			return fail(fmt.Errorf("starting codsnode %d: %w", node, err))
 		}
 		children = append(children, cmd)
-		addr, err := scrapeListenAddr(stdout)
+		addr, obsAddr, err := scrapeChildAddrs(stdout)
 		if err != nil {
 			return fail(fmt.Errorf("codsnode %d: %w", node, err))
 		}
 		go io.Copy(io.Discard, stdout)
 		peers[cluster.NodeID(node)] = addr
 		fmt.Printf("codsnode %d serving at %s\n", node, addr)
+		if obsAddr != "" {
+			fmt.Printf("codsnode %d metrics at http://%s/metrics (flow matrix at /flows)\n", node, obsAddr)
+		}
 	}
 	be, err := tcpnet.Connect(fw.TransportFabric(), peers, tcpnet.Config{})
 	if err != nil {
@@ -541,19 +610,25 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backe
 	return be, children, nil
 }
 
-// scrapeListenAddr reads the child's stdout until its CODSNODE LISTEN
-// announcement; EOF first means the child died before serving.
-func scrapeListenAddr(r io.Reader) (string, error) {
+// scrapeChildAddrs reads the child's stdout until its CODSNODE LISTEN
+// announcement, also capturing the CODSNODE OBS metrics address printed
+// just before it when the child serves its registry over HTTP; EOF first
+// means the child died before serving.
+func scrapeChildAddrs(r io.Reader) (listen, obsAddr string, err error) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "CODSNODE OBS "); ok {
+			obsAddr = strings.TrimSpace(addr)
+			continue
+		}
 		if addr, ok := strings.CutPrefix(sc.Text(), "CODSNODE LISTEN "); ok {
-			return strings.TrimSpace(addr), nil
+			return strings.TrimSpace(addr), obsAddr, nil
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return "", err
+		return "", "", err
 	}
-	return "", fmt.Errorf("exited before announcing a listen address")
+	return "", "", fmt.Errorf("exited before announcing a listen address")
 }
 
 // stopTCPBackend restores in-process routing, asks every child to exit

@@ -352,6 +352,11 @@ func (f *Framework) SetSpanTrace(w io.Writer) {
 // FlushSpans flushes buffered span events to the SetSpanTrace writer.
 func (f *Framework) FlushSpans() error { return f.tracer.Flush() }
 
+// SpanTracer returns the tracer installed by SetSpanTrace (nil when
+// tracing is off), so a transport backend can merge remotely captured
+// span events into the same output stream.
+func (f *Framework) SpanTracer() *obs.Tracer { return f.tracer }
+
 // SetFaultPlan installs a deterministic fault plan on the transport fabric
 // (nil removes it). Every fabric operation consults the plan; with none
 // installed the only cost is one atomic pointer load per operation.

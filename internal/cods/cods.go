@@ -399,6 +399,12 @@ func (h *Handle) meter() transport.Meter {
 	return transport.Meter{Phase: h.phase, Class: cluster.InterApp, DstApp: h.app}
 }
 
+// lookupClient returns the handle's DHT client carrying its span context,
+// so control RPCs against remote DHT cores trace back to the task span.
+func (h *Handle) lookupClient() *dht.Client {
+	return h.sp.lookup.ClientAt(h.core).WithSpan(uint64(h.spanParent))
+}
+
 // bufKey derives the exposure key for a stored block of a variable.
 func bufKey(v string, region geometry.BBox, version int) transport.BufKey {
 	return transport.BufKey{Name: v + "|" + region.String(), Version: version}
@@ -551,7 +557,7 @@ func (h *Handle) PutSequential(v string, version int, region geometry.BBox, data
 		h.sp.release(h.core, region.Volume()*ElemSize)
 		return err
 	}
-	cl := h.sp.lookup.ClientAt(h.core)
+	cl := h.lookupClient()
 	return cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
 }
 
@@ -616,7 +622,7 @@ func (h *Handle) GetSequential(v string, version int, region geometry.BBox) ([]f
 // sequentialSchedule queries the lookup service and converts the location
 // entries into a transfer list covering the region exactly.
 func (h *Handle) sequentialSchedule(v string, version int, region geometry.BBox) ([]transfer, error) {
-	entries, err := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region)
+	entries, err := h.lookupClient().Query(h.phase, h.app, v, version, region)
 	if err != nil {
 		return nil, err
 	}
@@ -699,11 +705,15 @@ func (h *Handle) pull(v string, version int, region geometry.BBox, sched []trans
 		obsPullBytes.Add(region.Volume() * ElemSize)
 		defer func() { obsPullNs.Observe(time.Since(start).Nanoseconds()) }()
 	}
-	if tr := h.sp.tracer.Load(); tr != nil {
-		defer tr.Start(h.spanParent, "pull:"+v).End()
-	}
 	out := make([]float64, region.Volume())
 	m := h.meter()
+	if tr := h.sp.tracer.Load(); tr != nil {
+		span := tr.Start(h.spanParent, "pull:"+v)
+		defer span.End()
+		// The span id travels in the meter as wire trace context, so a
+		// remote backend's handler spans parent under this pull span.
+		m.Span = uint64(span.ID())
+	}
 	pol := h.sp.RetryPolicy()
 	items := h.partitionPulls(sched)
 	do := func(item pullItem) error {
@@ -907,7 +917,7 @@ func (h *Handle) Exists(v string, version int, region geometry.BBox) (bool, erro
 	if region.Empty() {
 		return false, fmt.Errorf("cods: empty region for %q", v)
 	}
-	entries, err := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region)
+	entries, err := h.lookupClient().Query(h.phase, h.app, v, version, region)
 	if err != nil {
 		return false, err
 	}
@@ -930,7 +940,7 @@ func (h *Handle) TryGetSequential(v string, version int, region geometry.BBox) (
 		if err != nil {
 			// Incomplete coverage is the retry case; other errors are
 			// real.
-			if _, qerr := h.sp.lookup.ClientAt(h.core).Query(h.phase, h.app, v, version, region); qerr != nil {
+			if _, qerr := h.lookupClient().Query(h.phase, h.app, v, version, region); qerr != nil {
 				return nil, false, qerr
 			}
 			return nil, false, nil
@@ -963,7 +973,7 @@ func (h *Handle) Discard(v string, version int, region geometry.BBox) {
 // consumer will read again.
 func (h *Handle) DiscardSequential(v string, version int, region geometry.BBox) error {
 	h.Discard(v, version, region)
-	err := h.sp.lookup.ClientAt(h.core).Remove(h.phase, h.app,
+	err := h.lookupClient().Remove(h.phase, h.app,
 		dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
 	h.sp.InvalidateSchedules(v)
 	return err

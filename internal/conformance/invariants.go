@@ -11,6 +11,7 @@ import (
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/graph"
 	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/refmodel"
 )
 
@@ -130,6 +131,22 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 	}
 	if err := compareFlowMaps(got, pred.flows); err != nil {
 		return fmt.Errorf("%w\n%s", err, sc.GoLiteral())
+	}
+
+	// 4b. The observability plane's flow matrix is a pure regrouping of
+	// the same flow log, so folding its inter-app cells back to (src, dst)
+	// must reproduce the model prediction too. This pins attribution in
+	// the aggregation itself: a cell credited to the wrong node keeps
+	// every total intact and is invisible to checks 1-4.
+	obsGot := make(map[flowKey]int64)
+	for _, c := range obs.BuildFlowMatrix(mx.Flows("")).Cells {
+		if c.Class != cluster.InterApp.String() {
+			continue
+		}
+		obsGot[flowKey{src: cluster.NodeID(c.Src), dst: cluster.NodeID(c.Dst)}] += c.Bytes
+	}
+	if err := compareFlowMaps(obsGot, pred.flows); err != nil {
+		return fmt.Errorf("obs flow matrix: %w\n%s", err, sc.GoLiteral())
 	}
 
 	// 5. The static coupled-traffic analysis agrees with the measured

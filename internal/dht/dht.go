@@ -335,8 +335,9 @@ func (s *Service) serve(node int, req any) (any, error) {
 // Client is a per-core handle used by execution clients to talk to the
 // lookup service.
 type Client struct {
-	svc *Service
-	ep  *transport.Endpoint
+	svc  *Service
+	ep   *transport.Endpoint
+	span uint64
 }
 
 // ClientAt returns a lookup client bound to the endpoint of core c.
@@ -344,11 +345,21 @@ func (s *Service) ClientAt(c cluster.CoreID) *Client {
 	return &Client{svc: s, ep: s.fabric.Endpoint(c)}
 }
 
-// controlMeter classifies DHT control traffic; it is framework
-// bookkeeping attached to the requesting application and kept separate
-// from the coupled-data payload counters the figures report.
-func controlMeter(phase string, app int) transport.Meter {
-	return transport.Meter{Phase: phase, Class: cluster.Control, DstApp: app}
+// WithSpan returns a copy of the client whose control RPCs carry the
+// given span id (obs.SpanID) as wire trace context, so a remote DHT
+// core's handler spans parent under the caller's span. 0 clears it.
+func (cl *Client) WithSpan(id uint64) *Client {
+	out := *cl
+	out.span = id
+	return &out
+}
+
+// meter classifies DHT control traffic; it is framework bookkeeping
+// attached to the requesting application and kept separate from the
+// coupled-data payload counters the figures report. The client's span
+// context rides along for distributed tracing.
+func (cl *Client) meter(phase string, app int) transport.Meter {
+	return transport.Meter{Phase: phase, Class: cluster.Control, DstApp: app, Span: cl.span}
 }
 
 // Insert registers the location of a stored region with every DHT core
@@ -365,7 +376,7 @@ func (cl *Client) Insert(phase string, app int, e Entry) error {
 	size := entrySize(e)
 	for _, node := range nodes {
 		if _, err := cl.call(node, insertReq{Entry: e},
-			controlMeter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 1)); err != nil {
+			cl.meter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 1)); err != nil {
 			return fmt.Errorf("dht: insert on node %d: %w", node, err)
 		}
 	}
@@ -387,7 +398,7 @@ func (cl *Client) Remove(phase string, app int, e Entry) error {
 	size := entrySize(e)
 	for _, node := range cl.svc.nodesForRegion(e.Region) {
 		if _, err := cl.call(node, removeReq{Entry: e},
-			controlMeter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 2)); err != nil {
+			cl.meter(phase, app), size, 8, rpcSeed(cl.ep.Core(), node, 2)); err != nil {
 			return fmt.Errorf("dht: remove on node %d: %w", node, err)
 		}
 	}
@@ -418,7 +429,7 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 	results := make([][]Entry, len(nodes))
 	errs := make([]error, len(nodes))
 	if len(nodes) == 1 {
-		resp, err := cl.call(nodes[0], req, controlMeter(phase, app), reqSize, 8,
+		resp, err := cl.call(nodes[0], req, cl.meter(phase, app), reqSize, 8,
 			rpcSeed(cl.ep.Core(), nodes[0], 3))
 		if err != nil {
 			errs[0] = err
@@ -431,7 +442,7 @@ func (cl *Client) Query(phase string, app int, v string, version int, region geo
 			wg.Add(1)
 			go func(i, node int) {
 				defer wg.Done()
-				resp, err := cl.call(node, req, controlMeter(phase, app), reqSize, 8,
+				resp, err := cl.call(node, req, cl.meter(phase, app), reqSize, 8,
 					rpcSeed(cl.ep.Core(), node, 3))
 				if err != nil {
 					errs[i] = err

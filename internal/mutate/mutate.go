@@ -49,10 +49,15 @@ const (
 	// segments while keeping their indices intact: the stream stays
 	// protocol-valid but delivers the wrong bytes into each slot.
 	TCPSGReorder = "tcp-sg-reorder"
+	// ObsFlowMisattribute credits every cross-node cell of the aggregated
+	// flow matrix to the wrong destination node (dst+1), leaving per-cell
+	// and total byte counts intact — the observability-plane twin of
+	// SwapFlow, living in the aggregation instead of the recording.
+	ObsFlowMisattribute = "obs-flow-misattribute"
 )
 
 // Names lists every seeded defect, in a stable order.
 func Names() []string {
 	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
-		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder}
+		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder, ObsFlowMisattribute}
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/mutate"
+)
+
+// The flow matrix is the aggregated view of the fabric's flow log: one
+// cell per (src node, dst node, medium, class) with its total byte count.
+// It is the data feed the ROADMAP's adaptive re-mapping loop consumes —
+// a placement policy wants "who talks to whom, over what, how much", not
+// the raw per-transfer log. The /flows HTTP view serves it live with
+// windowed deltas, so a scraper polling between coupling iterations sees
+// the traffic of just the last window.
+
+// FlowCell is one aggregated cell of the flow matrix.
+type FlowCell struct {
+	Src    int    `json:"src"`
+	Dst    int    `json:"dst"`
+	Medium string `json:"medium"`
+	Class  string `json:"class"`
+	Bytes  int64  `json:"bytes"`
+	// Delta is the byte growth since the previous observation window,
+	// set by FlowWindow.Update (a cell's first observation reports its
+	// full count).
+	Delta int64 `json:"delta_bytes"`
+}
+
+// FlowMatrix is the aggregated per-(src,dst)/per-medium byte matrix,
+// cells sorted by (src, dst, medium, class).
+type FlowMatrix struct {
+	Cells      []FlowCell `json:"cells"`
+	TotalBytes int64      `json:"total_bytes"`
+}
+
+type flowCellKey struct {
+	src, dst      int
+	medium, class string
+}
+
+// BuildFlowMatrix aggregates a raw flow log into the matrix form. The
+// aggregation is exact: summing any column back reproduces the log's
+// totals, and the conformance harness holds the inter-app cells to the
+// model-predicted intersection volumes.
+func BuildFlowMatrix(flows []cluster.Flow) FlowMatrix {
+	cells := make(map[flowCellKey]int64, len(flows))
+	var total int64
+	for _, f := range flows {
+		k := flowCellKey{src: int(f.Src), dst: int(f.Dst), medium: f.Medium, class: f.Class}
+		if mutate.Enabled(mutate.ObsFlowMisattribute) && k.src != k.dst {
+			k.dst++ // seeded defect: credit the wrong destination node
+		}
+		cells[k] += f.Bytes
+		total += f.Bytes
+	}
+	m := FlowMatrix{TotalBytes: total}
+	if len(cells) > 0 {
+		m.Cells = make([]FlowCell, 0, len(cells))
+		for k, b := range cells {
+			m.Cells = append(m.Cells, FlowCell{Src: k.src, Dst: k.dst, Medium: k.medium, Class: k.class, Bytes: b})
+		}
+		sort.Slice(m.Cells, func(i, j int) bool {
+			a, b := m.Cells[i], m.Cells[j]
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			if a.Dst != b.Dst {
+				return a.Dst < b.Dst
+			}
+			if a.Medium != b.Medium {
+				return a.Medium < b.Medium
+			}
+			return a.Class < b.Class
+		})
+	}
+	return m
+}
+
+// FlowWindow tracks per-cell byte counts across successive observations
+// and annotates each matrix with the growth since the previous one. Safe
+// for concurrent use (scrapes serialize on the window's mutex).
+type FlowWindow struct {
+	mu   sync.Mutex
+	prev map[flowCellKey]int64
+}
+
+// NewFlowWindow creates an empty window; the first Update reports every
+// cell's full byte count as its delta.
+func NewFlowWindow() *FlowWindow {
+	return &FlowWindow{prev: make(map[flowCellKey]int64)}
+}
+
+// Update sets Delta on every cell of m to its byte growth since the last
+// Update, then records m as the new baseline.
+func (w *FlowWindow) Update(m *FlowMatrix) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := make(map[flowCellKey]int64, len(m.Cells))
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		k := flowCellKey{src: c.Src, dst: c.Dst, medium: c.Medium, class: c.Class}
+		c.Delta = c.Bytes - w.prev[k]
+		next[k] = c.Bytes
+	}
+	w.prev = next
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+func TestBuildFlowMatrix(t *testing.T) {
+	flows := []cluster.Flow{
+		{Src: 1, Dst: 0, Medium: "network", Class: "inter-app", Bytes: 100},
+		{Src: 0, Dst: 0, Medium: "shm", Class: "inter-app", Bytes: 40},
+		{Src: 1, Dst: 0, Medium: "network", Class: "inter-app", Bytes: 60},
+		{Src: 0, Dst: 1, Medium: "network", Class: "control", Bytes: 8},
+	}
+	m := BuildFlowMatrix(flows)
+	want := []FlowCell{
+		{Src: 0, Dst: 0, Medium: "shm", Class: "inter-app", Bytes: 40},
+		{Src: 0, Dst: 1, Medium: "network", Class: "control", Bytes: 8},
+		{Src: 1, Dst: 0, Medium: "network", Class: "inter-app", Bytes: 160},
+	}
+	if !reflect.DeepEqual(m.Cells, want) {
+		t.Fatalf("cells:\ngot  %+v\nwant %+v", m.Cells, want)
+	}
+	if m.TotalBytes != 208 {
+		t.Fatalf("total = %d, want 208", m.TotalBytes)
+	}
+	if empty := BuildFlowMatrix(nil); empty.Cells != nil || empty.TotalBytes != 0 {
+		t.Fatalf("empty log = %+v", empty)
+	}
+}
+
+func TestFlowWindowDeltas(t *testing.T) {
+	log := []cluster.Flow{{Src: 1, Dst: 0, Medium: "network", Class: "inter-app", Bytes: 100}}
+	w := NewFlowWindow()
+
+	m := BuildFlowMatrix(log)
+	w.Update(&m)
+	if m.Cells[0].Delta != 100 {
+		t.Fatalf("first observation delta = %d, want full count 100", m.Cells[0].Delta)
+	}
+
+	// The log grows by 50 bytes in the same cell and gains a new cell.
+	log[0].Bytes = 150
+	log = append(log, cluster.Flow{Src: 0, Dst: 1, Medium: "network", Class: "inter-app", Bytes: 30})
+	m = BuildFlowMatrix(log)
+	w.Update(&m)
+	for _, c := range m.Cells {
+		switch {
+		case c.Src == 1 && c.Delta != 50:
+			t.Fatalf("grown cell delta = %d, want 50", c.Delta)
+		case c.Src == 0 && c.Delta != 30:
+			t.Fatalf("new cell delta = %d, want 30", c.Delta)
+		}
+	}
+
+	// No growth: every delta collapses to zero.
+	m = BuildFlowMatrix(log)
+	w.Update(&m)
+	for _, c := range m.Cells {
+		if c.Delta != 0 {
+			t.Fatalf("idle window delta = %d, want 0 (cell %+v)", c.Delta, c)
+		}
+	}
+}

@@ -25,13 +25,30 @@ type Check struct {
 	Match    bool   `json:"match"`
 }
 
+// NodeReport is the per-node section of a cluster report: one remote
+// codsnode's shipped registry snapshot with its own reconciliation rows
+// (registry vs the node's fabric metering and wire-level counters). A
+// failed node check also fails the parent report's verdict.
+type NodeReport struct {
+	Node    string   `json:"node"`
+	Addr    string   `json:"addr,omitempty"`
+	Metrics Snapshot `json:"metrics"`
+	Checks  []Check  `json:"reconciliation,omitempty"`
+	// Reconciled is true when every node-level check matches.
+	Reconciled bool `json:"reconciled"`
+
+	parent *Report
+}
+
 // Report is a structured run report, serialized as indented JSON.
 type Report struct {
 	GeneratedBy string            `json:"generated_by"`
 	Meta        map[string]string `json:"meta,omitempty"`
 	Metrics     Snapshot          `json:"metrics"`
 	Checks      []Check           `json:"reconciliation,omitempty"`
-	// Reconciled is true when every check matches.
+	Nodes       []*NodeReport     `json:"nodes,omitempty"`
+	// Reconciled is true when every check — including every per-node
+	// check — matches.
 	Reconciled bool `json:"reconciled"`
 }
 
@@ -53,6 +70,27 @@ func (r *Report) AddCheck(name string, registry, external int64) {
 	r.Checks = append(r.Checks, Check{Name: name, Registry: registry, External: external, Match: ok})
 	if !ok {
 		r.Reconciled = false
+	}
+}
+
+// AddNode appends a per-node section for a remote node's shipped
+// registry snapshot and returns it for node-level checks.
+func (r *Report) AddNode(node, addr string, metrics Snapshot) *NodeReport {
+	n := &NodeReport{Node: node, Addr: addr, Metrics: metrics, Reconciled: true, parent: r}
+	r.Nodes = append(r.Nodes, n)
+	return n
+}
+
+// AddCheck appends a node-level reconciliation row, folding its result
+// into both the node's and the parent report's verdicts.
+func (n *NodeReport) AddCheck(name string, registry, external int64) {
+	ok := registry == external
+	n.Checks = append(n.Checks, Check{Name: name, Registry: registry, External: external, Match: ok})
+	if !ok {
+		n.Reconciled = false
+		if n.parent != nil {
+			n.parent.Reconciled = false
+		}
 	}
 }
 

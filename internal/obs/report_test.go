@@ -45,12 +45,12 @@ func TestHTTPEndpoint(t *testing.T) {
 	withObs(t, func() {
 		r := NewRegistry()
 		r.Counter("http.hits").Add(7)
-		ln, err := Serve("127.0.0.1:0", r)
+		srv, err := Serve("127.0.0.1:0", Handler(r))
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer ln.Close()
-		base := "http://" + ln.Addr().String()
+		defer srv.Close()
+		base := "http://" + srv.Addr().String()
 		resp, err := http.Get(base + "/metrics")
 		if err != nil {
 			t.Fatal(err)

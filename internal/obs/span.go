@@ -35,9 +35,14 @@ type SpanEvent struct {
 	// Name labels the operation, e.g. "task:2:1" or "pull:data.1".
 	Name string `json:"name"`
 	// T is the event time in nanoseconds relative to the tracer's start.
+	// In a merged cross-process trace each process's events keep their own
+	// origin; parent linkage, not T, is what relates spans across nodes.
 	T int64 `json:"t_ns"`
 	// Dur is the span duration in nanoseconds, set on end events.
 	Dur int64 `json:"dur_ns,omitempty"`
+	// Node labels the emitting node in a merged cross-process trace
+	// (e.g. "node2"). Empty for driver-local spans.
+	Node string `json:"node,omitempty"`
 }
 
 // Tracer streams span events to a writer. All methods are safe for
@@ -50,6 +55,7 @@ type Tracer struct {
 	err    error
 	start  time.Time
 	nextID atomic.Uint64
+	node   atomic.Pointer[string]
 }
 
 // NewTracer creates a tracer writing JSON Lines span events to w.
@@ -58,11 +64,40 @@ func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
 }
 
+// SetIDBase namespaces the tracer's span identifiers: subsequent spans get
+// IDs strictly above base. When traces from several processes are merged
+// into one file, giving each process a disjoint base (node k starts at
+// (k+1)<<48, the driver stays below 1<<48) keeps IDs unique without any
+// cross-process coordination. Call before the first Start. Safe on nil.
+func (t *Tracer) SetIDBase(base uint64) {
+	if t == nil {
+		return
+	}
+	t.nextID.Store(base)
+}
+
+// SetNode sets a node label stamped on every subsequent begin and instant
+// event, identifying the emitting process in a merged trace. Safe on nil.
+func (t *Tracer) SetNode(node string) {
+	if t == nil {
+		return
+	}
+	t.node.Store(&node)
+}
+
+func (t *Tracer) nodeLabel() string {
+	if p := t.node.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // Span is a live span handle; call End exactly once.
 type Span struct {
 	tr    *Tracer
 	id    SpanID
 	name  string
+	node  string
 	begin time.Time
 }
 
@@ -75,10 +110,21 @@ func (t *Tracer) Start(parent SpanID, name string) Span {
 	if t == nil {
 		return Span{}
 	}
+	return t.StartNode(parent, name, t.nodeLabel())
+}
+
+// StartNode begins a span like Start but with an explicit node label,
+// overriding the tracer-wide SetNode default. A backend that serves
+// several nodes from one process (the loopback backend in tests) uses
+// this to label each handler span with the node that executed it.
+func (t *Tracer) StartNode(parent SpanID, name, node string) Span {
+	if t == nil {
+		return Span{}
+	}
 	id := SpanID(t.nextID.Add(1))
 	now := time.Now()
-	t.emit(SpanEvent{Ev: "b", ID: id, Parent: parent, Name: name, T: now.Sub(t.start).Nanoseconds()})
-	return Span{tr: t, id: id, name: name, begin: now}
+	t.emit(SpanEvent{Ev: "b", ID: id, Parent: parent, Name: name, T: now.Sub(t.start).Nanoseconds(), Node: node})
+	return Span{tr: t, id: id, name: name, begin: now, node: node}
 }
 
 // End writes the span's end event with its measured duration. End on the
@@ -94,6 +140,7 @@ func (s Span) End() {
 		Name: s.name,
 		T:    now.Sub(s.tr.start).Nanoseconds(),
 		Dur:  now.Sub(s.begin).Nanoseconds(),
+		Node: s.node,
 	})
 }
 
@@ -105,7 +152,32 @@ func (t *Tracer) Event(parent SpanID, name string) {
 		return
 	}
 	id := SpanID(t.nextID.Add(1))
-	t.emit(SpanEvent{Ev: "i", ID: id, Parent: parent, Name: name, T: time.Since(t.start).Nanoseconds()})
+	t.emit(SpanEvent{Ev: "i", ID: id, Parent: parent, Name: name, T: time.Since(t.start).Nanoseconds(), Node: t.nodeLabel()})
+}
+
+// AppendRaw splices pre-encoded JSON Lines span events — the drained
+// buffer of a remote tracer — into this tracer's stream. The bytes are
+// written verbatim (a trailing newline is added if missing), interleaved
+// atomically with locally emitted events, so a driver can fold every
+// node's spans into its own trace file before Flush. Remote events keep
+// their own time origin; parent linkage relates them to driver spans.
+// Safe on a nil tracer and with empty input.
+func (t *Tracer) AppendRaw(lines []byte) {
+	if t == nil || len(lines) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	if _, err := t.bw.Write(lines); err != nil {
+		t.err = err
+		return
+	}
+	if lines[len(lines)-1] != '\n' {
+		t.err = t.bw.WriteByte('\n')
+	}
 }
 
 // emit serializes one event; the first write error sticks and is returned

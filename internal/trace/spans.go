@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/insitu/cods/internal/obs"
+)
+
+// A span trace becomes a tree: workflow -> group -> task -> pull, and —
+// once the TCP backend propagates span context across the wire — the
+// remote handler spans each node emitted, parented under the driver span
+// that caused them. BuildSpanTree reconstructs that single cross-process
+// tree from a merged JSON Lines span file. Cross-process merging relies
+// on parent linkage only: each process keeps its own time origin, and
+// span IDs are disjoint because every node namespaces its tracer's IDs
+// (obs.Tracer.SetIDBase).
+
+// SpanNode is one reconstructed span (or instant event) of a trace.
+type SpanNode struct {
+	ID     obs.SpanID
+	Parent obs.SpanID
+	Name   string
+	// Node is the emitting node's label in a merged cross-process trace;
+	// empty for driver-local spans.
+	Node string
+	// Start is the begin time in nanoseconds on the emitting process's
+	// own clock; comparable within one process, not across processes.
+	Start int64
+	// Dur is the measured duration; 0 when the span never ended (or for
+	// instant events).
+	Dur int64
+	// Instant marks an "i" event (retry, fault, recovery marker).
+	Instant  bool
+	Children []*SpanNode
+}
+
+// SpanTree is the reconstruction of a span event stream.
+type SpanTree struct {
+	// Roots are the spans with parent 0, in begin order.
+	Roots []*SpanNode
+	// Orphans are spans whose parent ID never appeared in the stream —
+	// in a fully merged trace this must be empty; a non-empty list means
+	// a process's spans were dropped or never drained.
+	Orphans []*SpanNode
+}
+
+// BuildSpanTree links a span event list (as loaded by obs.ReadSpans) into
+// its tree. End events are matched to begins by span ID; sibling order is
+// by begin time, then ID, which is deterministic for any one process.
+func BuildSpanTree(evs []obs.SpanEvent) *SpanTree {
+	nodes := make(map[obs.SpanID]*SpanNode)
+	var order []*SpanNode
+	for _, ev := range evs {
+		switch ev.Ev {
+		case "b", "i":
+			if _, dup := nodes[ev.ID]; dup {
+				continue // malformed: duplicate begin, keep the first
+			}
+			n := &SpanNode{
+				ID:      ev.ID,
+				Parent:  ev.Parent,
+				Name:    ev.Name,
+				Node:    ev.Node,
+				Start:   ev.T,
+				Instant: ev.Ev == "i",
+			}
+			nodes[ev.ID] = n
+			order = append(order, n)
+		case "e":
+			if n := nodes[ev.ID]; n != nil {
+				n.Dur = ev.Dur
+			}
+		}
+	}
+	t := &SpanTree{}
+	for _, n := range order {
+		switch {
+		case n.Parent == 0:
+			t.Roots = append(t.Roots, n)
+		case nodes[n.Parent] != nil:
+			p := nodes[n.Parent]
+			p.Children = append(p.Children, n)
+		default:
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	sortSpans(t.Roots)
+	sortSpans(t.Orphans)
+	for _, n := range order {
+		sortSpans(n.Children)
+	}
+	return t
+}
+
+func sortSpans(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Start != ns[j].Start {
+			return ns[i].Start < ns[j].Start
+		}
+		return ns[i].ID < ns[j].ID
+	})
+}
+
+// Walk visits every node of the tree depth-first (roots, then orphans),
+// passing each node's depth.
+func (t *SpanTree) Walk(fn func(n *SpanNode, depth int)) {
+	var rec func(n *SpanNode, depth int)
+	rec = func(n *SpanNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, n := range t.Roots {
+		rec(n, 0)
+	}
+	for _, n := range t.Orphans {
+		rec(n, 0)
+	}
+}
+
+// WriteSpanTree renders the tree as indented text, one span per line with
+// its duration and node label — the human view of a merged cluster trace.
+func WriteSpanTree(w io.Writer, t *SpanTree) error {
+	var err error
+	t.Walk(func(n *SpanNode, depth int) {
+		if err != nil {
+			return
+		}
+		for i := 0; i < depth; i++ {
+			if _, err = io.WriteString(w, "  "); err != nil {
+				return
+			}
+		}
+		label := ""
+		if n.Node != "" {
+			label = " @" + n.Node
+		}
+		switch {
+		case n.Instant:
+			_, err = fmt.Fprintf(w, "* %s%s\n", n.Name, label)
+		case n.Dur > 0:
+			_, err = fmt.Fprintf(w, "- %s%s %dns\n", n.Name, label, n.Dur)
+		default:
+			_, err = fmt.Fprintf(w, "- %s%s (unfinished)\n", n.Name, label)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if len(t.Orphans) > 0 {
+		if _, err := fmt.Fprintf(w, "! %d orphaned span(s): parent never seen\n", len(t.Orphans)); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}

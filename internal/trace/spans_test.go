@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/insitu/cods/internal/obs"
+)
+
+// spanEvents is a miniature merged cross-process trace: a driver-side
+// workflow -> task -> pull chain plus a remote handler span emitted by
+// node1 with a namespaced ID, parented under the driver's pull span.
+func spanEvents() []obs.SpanEvent {
+	const remoteID = obs.SpanID(2<<48 + 1)
+	return []obs.SpanEvent{
+		{Ev: "b", ID: 1, Name: "workflow", T: 0},
+		{Ev: "b", ID: 2, Parent: 1, Name: "task:1.0", T: 10},
+		{Ev: "b", ID: 3, Parent: 2, Name: "pull:u", T: 20},
+		// The remote process's clock starts at its own origin: T restarts.
+		{Ev: "b", ID: remoteID, Parent: 3, Name: "remote:readmulti:2", T: 5, Node: "node1"},
+		{Ev: "e", ID: remoteID, Name: "remote:readmulti:2", T: 8, Dur: 3, Node: "node1"},
+		{Ev: "i", ID: 4, Parent: 3, Name: "retry", T: 25},
+		{Ev: "e", ID: 3, Name: "pull:u", T: 30, Dur: 10},
+		{Ev: "e", ID: 2, Name: "task:1.0", T: 40, Dur: 30},
+		{Ev: "e", ID: 1, Name: "workflow", T: 50, Dur: 50},
+	}
+}
+
+func TestBuildSpanTree(t *testing.T) {
+	tree := BuildSpanTree(spanEvents())
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 0 {
+		t.Fatalf("roots=%d orphans=%d, want 1/0", len(tree.Roots), len(tree.Orphans))
+	}
+	wf := tree.Roots[0]
+	if wf.Name != "workflow" || wf.Dur != 50 {
+		t.Fatalf("root = %+v", wf)
+	}
+	pull := wf.Children[0].Children[0]
+	if pull.Name != "pull:u" {
+		t.Fatalf("depth-2 span = %+v", pull)
+	}
+	if len(pull.Children) != 2 {
+		t.Fatalf("pull children = %d, want remote span + retry event", len(pull.Children))
+	}
+	remote := pull.Children[0]
+	if remote.Name != "remote:readmulti:2" || remote.Node != "node1" || remote.Dur != 3 {
+		t.Fatalf("remote child = %+v", remote)
+	}
+	if retry := pull.Children[1]; !retry.Instant || retry.Name != "retry" {
+		t.Fatalf("instant child = %+v", retry)
+	}
+
+	depths := map[string]int{}
+	tree.Walk(func(n *SpanNode, depth int) { depths[n.Name] = depth })
+	if depths["remote:readmulti:2"] != 3 || depths["workflow"] != 0 {
+		t.Fatalf("walk depths = %v", depths)
+	}
+}
+
+func TestBuildSpanTreeOrphans(t *testing.T) {
+	evs := []obs.SpanEvent{
+		{Ev: "b", ID: 1, Name: "workflow", T: 0},
+		// Parent 77 never appears: a node's spans were never drained.
+		{Ev: "b", ID: 2<<48 + 4, Parent: 77, Name: "remote:read:u", T: 1, Node: "node1"},
+		{Ev: "e", ID: 1, Name: "workflow", T: 9, Dur: 9},
+	}
+	tree := BuildSpanTree(evs)
+	if len(tree.Orphans) != 1 || tree.Orphans[0].Name != "remote:read:u" {
+		t.Fatalf("orphans = %+v", tree.Orphans)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpanTree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "! 1 orphaned span(s)") {
+		t.Fatalf("orphan warning missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteSpanTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpanTree(&buf, BuildSpanTree(spanEvents())); err != nil {
+		t.Fatal(err)
+	}
+	want := `- workflow 50ns
+  - task:1.0 30ns
+    - pull:u 10ns
+      - remote:readmulti:2 @node1 3ns
+      * retry
+`
+	if buf.String() != want {
+		t.Fatalf("rendered tree:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestBuildSpanTreeUnfinished(t *testing.T) {
+	tree := BuildSpanTree([]obs.SpanEvent{{Ev: "b", ID: 1, Name: "hung:pull", T: 0}})
+	var buf bytes.Buffer
+	if err := WriteSpanTree(&buf, tree); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hung:pull (unfinished)") {
+		t.Fatalf("unfinished marker missing:\n%s", buf.String())
+	}
+}

@@ -13,8 +13,26 @@ import (
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/mutate"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
+)
+
+// Registry instruments mirroring the backend's wire-level atomic counters:
+// both are incremented at the same call sites, so a node's shipped
+// registry snapshot reconciles exactly against its shipped WireStats (the
+// same registry-vs-independent-source pattern transport.record uses for
+// the per-medium counters). Process-wide like all obs instruments — equal
+// to one backend's WireStats whenever the process runs a single backend
+// with observability enabled from the start, which is exactly the codsrun
+// driver and codsnode child configuration.
+var (
+	obsWireBytesOut      = obs.C("tcpnet.bytes_out")
+	obsWireBytesIn       = obs.C("tcpnet.bytes_in")
+	obsWireReadReqs      = obs.C("tcpnet.read.requests")
+	obsWireReadMultiReqs = obs.C("tcpnet.readmulti.requests")
+	obsWireSegments      = obs.C("tcpnet.segments.served")
+	obsWireSegmentBytes  = obs.C("tcpnet.segments.bytes_served")
 )
 
 // Config tunes a TCP backend.
@@ -63,8 +81,49 @@ type Backend struct {
 		segments, segmentBytes      atomic.Int64
 	}
 
+	// spanTracer, when set, emits a handler span for every remote
+	// operation that carries trace context (frame.Span != 0) into
+	// spanSink, to be drained by the driver through opSpans.
+	spanTracer atomic.Pointer[obs.Tracer]
+	spanSink   spanSink
+
+	// accounts is the per-peer accounting collected by the last
+	// MergeRemoteStats fan-out, guarded by mu.
+	accounts []NodeAccount
+
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
+}
+
+// spanSink buffers the JSON Lines output of the remote-span tracer until
+// a driver drains it. Only complete lines are drained: the tracer's
+// bufio layer may flush mid-line while handler goroutines are still
+// emitting, so the tail after the last newline stays buffered — a
+// concurrent drain never ships a torn line.
+type spanSink struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (s *spanSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Write(p)
+}
+
+func (s *spanSink) drain() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buf.Bytes()
+	i := bytes.LastIndexByte(b, '\n')
+	if i < 0 {
+		return nil
+	}
+	out := append([]byte(nil), b[:i+1]...)
+	rest := append([]byte(nil), b[i+1:]...)
+	s.buf.Reset()
+	s.buf.Write(rest)
+	return out
 }
 
 // WireStats is a snapshot of a backend's wire-level counters: the bytes
@@ -93,8 +152,83 @@ func (b *Backend) WireStats() WireStats {
 	}
 }
 
+// EnableSpanCapture starts emitting a node-labelled handler span for
+// every remote operation served here that carries trace context
+// (opRead/opReadMulti/opCall with a nonzero Span field). The spans are
+// buffered in-process and shipped to the driver on demand (opSpans /
+// DrainRemoteSpans). Span IDs are namespaced per process — node k's
+// spans start above (k+1)<<48 — so merged traces never collide with the
+// driver's own IDs, which stay far below. Idempotent.
+func (b *Backend) EnableSpanCapture() {
+	if b.spanTracer.Load() != nil {
+		return
+	}
+	tr := obs.NewTracer(&b.spanSink)
+	tr.SetIDBase(uint64(b.firstOwnedNode()+1) << 48)
+	if !b.spanTracer.CompareAndSwap(nil, tr) {
+		return // lost a concurrent enable; keep the winner
+	}
+}
+
+func (b *Backend) firstOwnedNode() int {
+	for node, owned := range b.owned {
+		if owned {
+			return node
+		}
+	}
+	return 0
+}
+
+// nodeLabel names the node that serves a target core, for span labels.
+func (b *Backend) nodeLabel(target int32) string {
+	return fmt.Sprintf("node%d", b.machine.NodeOf(cluster.CoreID(target)))
+}
+
+// drainSpans flushes and returns the buffered remote span lines,
+// clearing the buffer. Returns nil when capture is off or nothing has
+// been emitted.
+func (b *Backend) drainSpans() []byte {
+	tr := b.spanTracer.Load()
+	if tr == nil {
+		return nil
+	}
+	_ = tr.Flush()
+	return b.spanSink.drain()
+}
+
+// DrainRemoteSpans collects the handler spans every peer process
+// buffered — plus this process's own captured spans in loopback mode —
+// and splices them into tr (the driver's trace file). Like
+// MergeRemoteStats, each distinct peer process is queried once. Call it
+// after the workflow completes and before flushing the trace.
+func (b *Backend) DrainRemoteSpans(tr *obs.Tracer) error {
+	tr.AppendRaw(b.drainSpans())
+	seen := make(map[string]bool)
+	for node := range b.owned {
+		if b.owned[node] {
+			continue
+		}
+		b.mu.Lock()
+		addr := b.addrs[cluster.NodeID(node)]
+		b.mu.Unlock()
+		if addr == "" || seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		resp, err := b.roundTrip(cluster.NodeID(node), &frame{Op: opSpans}, false)
+		if err != nil {
+			return err
+		}
+		if err := respErr(resp); err != nil {
+			return err
+		}
+		tr.AppendRaw(resp.Payload)
+	}
+	return nil
+}
+
 // countingConn charges every read and write on a dialed connection to the
-// backend's byte counters.
+// backend's byte counters (and their registry mirrors).
 type countingConn struct {
 	net.Conn
 	in, out *atomic.Int64
@@ -103,12 +237,14 @@ type countingConn struct {
 func (c countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.in.Add(int64(n))
+	obsWireBytesIn.Add(int64(n))
 	return n, err
 }
 
 func (c countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.out.Add(int64(n))
+	obsWireBytesOut.Add(int64(n))
 	return n, err
 }
 
@@ -404,10 +540,11 @@ func meterFrame(fr *frame, m transport.Meter) {
 	fr.MeterClass = uint8(m.Class)
 	fr.DstApp = int32(m.DstApp)
 	fr.Phase = m.Phase
+	fr.Span = m.Span
 }
 
 func frameMeter(fr *frame) transport.Meter {
-	return transport.Meter{Phase: fr.Phase, Class: cluster.Class(fr.MeterClass), DstApp: int(fr.DstApp)}
+	return transport.Meter{Phase: fr.Phase, Class: cluster.Class(fr.MeterClass), DstApp: int(fr.DstApp), Span: fr.Span}
 }
 
 // Send implements transport.Backend.
@@ -441,6 +578,7 @@ func (b *Backend) Recv(on, src cluster.CoreID, tag uint64) (transport.Message, e
 // move only clipped bytes go through ReadMulti (DESIGN §5f).
 func (b *Backend) Read(reader, owner cluster.CoreID, key transport.BufKey, m transport.Meter, n int64, wait bool) (any, bool, error) {
 	b.stats.readRequests.Add(1)
+	obsWireReadReqs.Inc()
 	fr := &frame{Op: opRead, Src: int32(reader), Dst: int32(owner), Name: key.Name, Version: int64(key.Version), Bytes: n}
 	meterFrame(fr, m)
 	if wait {
@@ -484,6 +622,7 @@ func (b *Backend) ReadMulti(reader cluster.CoreID, specs []transport.ReadSpec, m
 	fr := &frame{Op: opReadMulti, Src: int32(reader), Dst: int32(specs[0].Owner), Payload: payload}
 	meterFrame(fr, m)
 	b.stats.readMultiReqs.Add(1)
+	obsWireReadMultiReqs.Inc()
 	for {
 		c, cached, err := b.conn(node)
 		if err != nil {
@@ -617,12 +756,40 @@ func (b *Backend) Exposed(owner cluster.CoreID, key transport.BufKey) (bool, err
 }
 
 // nodeStats ships one process's recorded transfer accounting to the
-// driver: the fabric's per-medium counters plus the full metrics
-// snapshot (class/medium totals, per-app volumes, flows).
+// driver: the fabric's per-medium counters, the full metrics snapshot
+// (class/medium totals, per-app volumes, flows), the process's obs
+// registry and its wire-level counters — everything the driver needs to
+// build a per-node report section that reconciles registry values
+// against the two independent sources.
 type nodeStats struct {
 	ShmBytes, ShmOps int64
 	NetBytes, NetOps int64
 	Metrics          cluster.MetricsSnapshot
+	Registry         obs.Snapshot
+	Wire             WireStats
+}
+
+// NodeAccount is the retained accounting of one remote peer process, as
+// collected by the last MergeRemoteStats fan-out: which nodes it serves,
+// its fabric per-medium totals, its registry snapshot and its wire
+// counters. The driver's report builder turns each into a per-node
+// report section.
+type NodeAccount struct {
+	Addr             string
+	Nodes            []int
+	ShmBytes, ShmOps int64
+	NetBytes, NetOps int64
+	Metrics          cluster.MetricsSnapshot
+	Registry         obs.Snapshot
+	Wire             WireStats
+}
+
+// NodeAccounts returns the per-peer accounting retained by the last
+// MergeRemoteStats call (nil before the first).
+func (b *Backend) NodeAccounts() []NodeAccount {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]NodeAccount(nil), b.accounts...)
 }
 
 // MergeRemoteStats pulls the transfer accounting every remote peer
@@ -632,7 +799,8 @@ type nodeStats struct {
 // the merged totals equal what a single-process run records. Call it
 // after the workflow completes and before reading any traffic report.
 func (b *Backend) MergeRemoteStats() error {
-	seen := make(map[string]bool)
+	seen := make(map[string]int)
+	var accounts []NodeAccount
 	for node := range b.owned {
 		if b.owned[node] {
 			continue
@@ -640,10 +808,13 @@ func (b *Backend) MergeRemoteStats() error {
 		b.mu.Lock()
 		addr := b.addrs[cluster.NodeID(node)]
 		b.mu.Unlock()
-		if addr == "" || seen[addr] {
+		if addr == "" {
 			continue
 		}
-		seen[addr] = true
+		if i, ok := seen[addr]; ok {
+			accounts[i].Nodes = append(accounts[i].Nodes, node)
+			continue
+		}
 		resp, err := b.roundTrip(cluster.NodeID(node), &frame{Op: opStats}, false)
 		if err != nil {
 			return err
@@ -657,7 +828,20 @@ func (b *Backend) MergeRemoteStats() error {
 		}
 		b.fabric.MergeMediumStats(ns.ShmBytes, ns.ShmOps, ns.NetBytes, ns.NetOps)
 		b.machine.Metrics().Merge(ns.Metrics)
+		accounts = append(accounts, NodeAccount{
+			Addr:     addr,
+			Nodes:    []int{node},
+			ShmBytes: ns.ShmBytes, ShmOps: ns.ShmOps,
+			NetBytes: ns.NetBytes, NetOps: ns.NetOps,
+			Metrics:  ns.Metrics,
+			Registry: ns.Registry,
+			Wire:     ns.Wire,
+		})
+		seen[addr] = len(accounts) - 1
 	}
+	b.mu.Lock()
+	b.accounts = accounts
+	b.mu.Unlock()
 	return nil
 }
 
@@ -839,6 +1023,10 @@ func (b *Backend) serveReadMulti(c net.Conn, fr *frame) bool {
 			return headerFail(err)
 		}
 	}
+	if tr := b.spanTracer.Load(); tr != nil && fr.Span != 0 {
+		name := fmt.Sprintf("remote:readmulti:%d", len(specs))
+		defer tr.StartNode(obs.SpanID(fr.Span), name, b.nodeLabel(fr.Dst)).End()
+	}
 	count := len(specs)
 	if mutate.Enabled(mutate.TCPSGDrop) && count > 1 {
 		// Seeded defect: the batch swallows its last sub-box — announced
@@ -904,6 +1092,8 @@ func (b *Backend) serveReadMulti(c net.Conn, fr *frame) bool {
 func (b *Backend) writeDataSegment(c net.Conn, i int, body []byte) error {
 	b.stats.segments.Add(1)
 	b.stats.segmentBytes.Add(int64(len(body)))
+	obsWireSegments.Inc()
+	obsWireSegmentBytes.Add(int64(len(body)))
 	if d := b.ioTimeout(); d > 0 {
 		c.SetWriteDeadline(time.Now().Add(d))
 	}
@@ -946,8 +1136,18 @@ func (b *Backend) checkTarget(c int32) error {
 }
 
 // execute runs one decoded request against the local fabric and builds
-// the response frame.
+// the response frame. With span capture enabled, data operations that
+// carry trace context get a handler span parented under the requesting
+// driver span, labelled with the serving node.
 func (b *Backend) execute(fr *frame) *frame {
+	if tr := b.spanTracer.Load(); tr != nil && fr.Span != 0 {
+		switch fr.Op {
+		case opRead:
+			defer tr.StartNode(obs.SpanID(fr.Span), "remote:read:"+fr.Name, b.nodeLabel(fr.Dst)).End()
+		case opCall:
+			defer tr.StartNode(obs.SpanID(fr.Span), "remote:call:"+fr.Name, b.nodeLabel(fr.Dst)).End()
+		}
+	}
 	resp := &frame{Op: opResp}
 	fail := func(err error) *frame {
 		if errors.Is(err, transport.ErrEndpointClosed) {
@@ -1066,12 +1266,16 @@ func (b *Backend) execute(fr *frame) *frame {
 			NetBytes: b.fabric.MediumBytes(cluster.Network),
 			NetOps:   b.fabric.MediumOps(cluster.Network),
 			Metrics:  b.machine.Metrics().Snapshot(),
+			Registry: obs.Default.Snapshot(),
+			Wire:     b.WireStats(),
 		}
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(ns); err != nil {
 			return fail(err)
 		}
 		resp.Payload = buf.Bytes()
+	case opSpans:
+		resp.Payload = b.drainSpans()
 	case opShutdown:
 		// Acknowledged here; serveConn triggers the shutdown channel after
 		// the response is on the wire.

@@ -63,13 +63,16 @@ func sampleFrames() []*frame {
 			Phase: "couple:1", Payload: []byte("hello")},
 		{Op: opRecv, Src: -1, Dst: 3, Tag: 7},
 		{Op: opRead, Src: 2, Dst: 6, Name: "temperature", Version: 3, Bytes: 4096,
-			Flags: flagWait, MeterClass: uint8(cluster.InterApp), DstApp: 2, Phase: "couple:3"},
+			Flags: flagWait, MeterClass: uint8(cluster.InterApp), DstApp: 2, Phase: "couple:3",
+			Span: 0x123456789A},
 		{Op: opCall, Src: 1, Dst: 0, Name: "cods.dht", Bytes: 64, Bytes2: 128,
-			MeterClass: uint8(cluster.Control), Payload: []byte{1, 2, 3}},
+			MeterClass: uint8(cluster.Control), Payload: []byte{1, 2, 3}, Span: 7},
+		{Op: opSpans},
+		{Op: opResp, Status: statusOK, Payload: []byte(`{"ev":"b","id":1,"name":"remote:read:t"}` + "\n")},
 		{Op: opResp, Status: statusErr, Err: "transport: endpoint closed"},
 		{Op: opResp, Status: statusOK, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
 		{Op: opReadMulti, Src: 2, Dst: 6, MeterClass: uint8(cluster.InterApp), DstApp: 2,
-			Phase: "couple:3", Payload: sampleSpecPayload()},
+			Phase: "couple:3", Payload: sampleSpecPayload(), Span: 1<<48 | 9},
 		// The scatter-gather response header: Bytes announces the segment
 		// count of the raw stream that follows the frame.
 		{Op: opResp, Status: statusOK, Bytes: 2},

@@ -37,6 +37,7 @@ const (
 	opStats
 	opShutdown
 	opReadMulti // batched scatter-gather read: one frame out, segment stream back
+	opSpans     // drain the node's buffered remote span events (JSON Lines)
 	opMax       // one past the last valid op
 )
 
@@ -56,13 +57,15 @@ const (
 // Handshake constants. helloMagic rides in the Tag field of the opHello
 // frame; bumping wireVersion invalidates cached connections from older
 // binaries at the handshake instead of corrupting mid-stream. Version 2
-// added the opReadMulti scatter-gather read and its segment stream: a v1
-// peer is rejected at the handshake (there is no per-op fallback — a
-// driver must match its codsnode children), which is a clean fast
-// failure instead of a v1 server hanging on an op it cannot decode.
+// added the opReadMulti scatter-gather read and its segment stream;
+// version 3 added the fixed Span trace-context field to every frame
+// header and the opSpans drain. A mismatched peer is rejected at the
+// handshake (there is no per-op fallback — a driver must match its
+// codsnode children), which is a clean fast failure instead of an old
+// server hanging on a frame layout it cannot decode.
 const (
 	helloMagic  uint64 = 0x434F44534E455400 // "CODSNET\0"
-	wireVersion uint8  = 2
+	wireVersion uint8  = 3
 )
 
 // maxFrameDefault bounds a frame body (64 MiB) so a corrupted length
@@ -81,6 +84,8 @@ const maxFrameDefault = 64 << 20
 //	             machine shape nodes/cores (hello)
 //	MeterClass   cluster.Class of the carried Meter
 //	DstApp       Meter.DstApp
+//	Span         requesting-side span id (Meter.Span), 0 = no span;
+//	             trace context only, never metered
 //	Name         BufKey name or RPC service name
 //	Phase        Meter.Phase
 //	Err          error text (opResp with statusErr/statusClosed)
@@ -97,6 +102,7 @@ type frame struct {
 	Version    int64
 	Bytes      int64
 	Bytes2     int64
+	Span       uint64
 	Name       string
 	Phase      string
 	Err        string
@@ -104,7 +110,7 @@ type frame struct {
 }
 
 // fixedHeaderLen is the byte length of the fixed part of a frame body.
-const fixedHeaderLen = 4 + 3*4 + 8 + 3*8
+const fixedHeaderLen = 4 + 3*4 + 8 + 3*8 + 8
 
 // errShortFrame rejects bodies that end before their declared content;
 // errTrailingData rejects bodies that continue past it. Both make the
@@ -124,6 +130,7 @@ func appendFrame(dst []byte, fr *frame) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, uint64(fr.Version))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(fr.Bytes))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(fr.Bytes2))
+	dst = binary.BigEndian.AppendUint64(dst, fr.Span)
 	for _, s := range []string{fr.Name, fr.Phase, fr.Err} {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
 		dst = append(dst, s...)
@@ -230,6 +237,7 @@ func decodeFrame(body []byte) (*frame, error) {
 	fr.Version = int64(binary.BigEndian.Uint64(body[24:]))
 	fr.Bytes = int64(binary.BigEndian.Uint64(body[32:]))
 	fr.Bytes2 = int64(binary.BigEndian.Uint64(body[40:]))
+	fr.Span = binary.BigEndian.Uint64(body[48:])
 	rest := body[fixedHeaderLen:]
 	for _, dst := range []*string{&fr.Name, &fr.Phase, &fr.Err} {
 		if len(rest) < 2 {

@@ -56,6 +56,12 @@ type Meter struct {
 	Class cluster.Class
 	// DstApp is the application id of the receiving task.
 	DstApp int
+	// Span is the requesting side's span identifier (obs.SpanID), the
+	// trace context a remote backend propagates so the serving node can
+	// parent its handler spans under the driver span that caused them.
+	// 0 means "no active span". Observability-only: it never affects
+	// metering or accounting.
+	Span uint64
 }
 
 // Message is a tagged point-to-point payload.

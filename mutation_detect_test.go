@@ -131,6 +131,20 @@ func mutationScenario(name string) genwf.Scenario {
 			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
 			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
 		}
+	case mutate.ObsFlowMisattribute:
+		// Producers fill node 0, consumers node 1: the coupling flows
+		// cross 0 -> 1. The defect re-credits cross-node cells to the
+		// next node inside the obs aggregation only — the raw flow log
+		// and every byte total stay correct, so only the flow-matrix
+		// regrouping check (invariant 4b) can see it.
+		return genwf.Scenario{
+			Seed: 0x13, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: false, Staged: true,
+			ProdKind: decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+		}
 	case mutate.TCPSGDrop, mutate.TCPSGReorder:
 		// Four producer blocks over a 2x2 machine, consumer on core 0:
 		// the blocks on node 1 become one scatter-gather batch of two

@@ -14,6 +14,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/trace"
 )
 
 // buildTCPBinaries compiles codsrun and codsnode into one directory so the
@@ -44,6 +47,83 @@ func trafficLines(out string) string {
 		}
 	}
 	return strings.Join(keep, "\n")
+}
+
+// TestTCPDistributedTrace runs a two-node workflow over the TCP backend
+// with span tracing and asserts the merged trace is one cross-process
+// tree: every remote handler span the codsnode children emitted carries a
+// node label and parents under a driver-side span — no orphans, no
+// unlabelled remote spans.
+func TestTCPDistributedTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-process smoke test in -short mode")
+	}
+	bin := buildTCPBinaries(t)
+	dir := t.TempDir()
+	dag := filepath.Join(dir, "wf.dag")
+	if err := os.WriteFile(dag, []byte("APP_ID 1\nAPP_ID 2\nPARENT_APPID 1 CHILD_APPID 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	cmd := exec.Command(filepath.Join(bin, "codsrun"),
+		"-backend", "tcp",
+		"-nodes", "2", "-cores", "2", "-domain", "8x8",
+		"-dag", dag,
+		"-app", "1:blocked:2x2", "-app", "2:blocked:2x1",
+		"-policy", "round-robin",
+		"-spans", spansPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("codsrun: %v\n%s", err, out)
+	}
+
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driver := map[obs.SpanID]string{} // driver-side span id -> name
+	remote := 0
+	for _, ev := range evs {
+		if ev.Ev != "b" {
+			continue
+		}
+		if !strings.HasPrefix(ev.Name, "remote:") {
+			if ev.Node != "" {
+				t.Fatalf("driver span carries a node label: %+v", ev)
+			}
+			driver[ev.ID] = ev.Name
+			continue
+		}
+		remote++
+		if ev.Node == "" {
+			t.Errorf("remote span without node label: %+v", ev)
+		}
+		parent, ok := driver[ev.Parent]
+		if !ok {
+			t.Errorf("remote span %q parents under %d, not a driver span", ev.Name, ev.Parent)
+			continue
+		}
+		// Data-plane spans hang off the pull that caused them; control
+		// spans (DHT lookups) off the task or pull issuing the query.
+		if !strings.HasPrefix(parent, "pull:") && !strings.HasPrefix(parent, "task:") {
+			t.Errorf("remote span %q parents under %q, want a pull or task span", ev.Name, parent)
+		}
+	}
+	if remote == 0 {
+		t.Fatal("two-node TCP run captured no remote handler spans")
+	}
+
+	tree := trace.BuildSpanTree(evs)
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("merged trace has %d orphaned spans", len(tree.Orphans))
+	}
+	if len(tree.Roots) != 1 || tree.Roots[0].Name != "workflow:round-robin" {
+		t.Fatalf("trace roots = %+v", tree.Roots)
+	}
 }
 
 func TestTCPBackendSmoke(t *testing.T) {
