@@ -29,6 +29,12 @@
 // loopback backend and asserts the scatter-gather protocol ships exactly
 // the schedule-predicted clipped bytes (±2% for framing tweaks), one
 // request frame per owning peer, and no whole-block fallback reads.
+//
+// Two further paired gates run on the TCP loopback pull path: the
+// distributed observability plane (registry, wire-mirror counters, span
+// context and remote handler spans) against the -threshold budget, and
+// the elastic membership layer at steady state — lease heartbeats and
+// expiry sweeps running, no topology change — against a tighter 3%.
 package main
 
 import (
@@ -44,6 +50,7 @@ import (
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/cods"
 	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/membership"
 	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
@@ -387,6 +394,125 @@ func distributedObsGate(reps int, threshold float64) error {
 	return nil
 }
 
+// elasticGate bounds the steady-state cost of the elastic membership
+// layer on the TCP pull path: every node holds a lease renewed by
+// ProbeLease heartbeats over the same loopback backend the pulls use, and
+// the expiry sweep runs at the same cadence — but no lease ever expires,
+// so the measured overhead is pure lease-plane traffic contending with
+// pull traffic plus registry bookkeeping, the price a cluster pays for
+// crash detection when nothing crashes. Its budget is a tighter 3%.
+const elasticBudget = 0.03
+
+func elasticGate(reps int) error {
+	const gateTransfers = 16
+	nx := 1
+	for nx*nx < gateTransfers {
+		nx *= 2
+	}
+	ny := gateTransfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second, Incarnation: 1})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	if err != nil {
+		return err
+	}
+	cores := m.TotalCores()
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	region := geometry.NewBBox(
+		geometry.Point{side / 2, side / 2},
+		geometry.Point{nx*side - side/2, ny*side - side/2})
+	consumer := sp.HandleAt(0, 2, "get")
+
+	// Leases far longer than the heartbeat: renewals always land in time,
+	// so the sweep never expires anything — steady state by construction.
+	reg := membership.NewRegistry(time.Minute)
+	for node := 0; node < nodes; node++ {
+		if err := reg.Join(cluster.NodeID(node), "", 1); err != nil {
+			return err
+		}
+	}
+	const heartbeat = 2 * time.Millisecond
+	var mon *membership.Monitor
+	var sweepStop chan struct{}
+	set := func(on bool) {
+		if on {
+			mon = membership.NewMonitor(reg, heartbeat, func(node cluster.NodeID, inc uint64) error {
+				_, err := b.ProbeLease(node, inc)
+				return err
+			})
+			mon.Start()
+			sweepStop = make(chan struct{})
+			go func(stop chan struct{}) {
+				t := time.NewTicker(heartbeat)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+						reg.Sweep()
+					}
+				}
+			}(sweepStop)
+			return
+		}
+		if mon != nil {
+			mon.Stop()
+			mon = nil
+		}
+		if sweepStop != nil {
+			close(sweepStop)
+			sweepStop = nil
+		}
+	}
+	_, overhead, slower, err := pairedOverhead(consumer, region, reps, set)
+	if err != nil {
+		return err
+	}
+	for _, mem := range reg.Members() {
+		if mem.State != "alive" {
+			return fmt.Errorf("steady-state elastic gate expired node %d's lease — heartbeats did not keep up", mem.Node)
+		}
+	}
+	fmt.Printf("tcp pull %d transfers: steady-state elastic overhead %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		gateTransfers, 100*overhead, 100*slower, 100*elasticBudget)
+	if overhead > elasticBudget && slower >= signBar {
+		return fmt.Errorf("steady-state elastic overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*overhead, 100*elasticBudget, 100*slower)
+	}
+	return nil
+}
+
 func run(baseline string, reps int, threshold float64) error {
 	sp, consumer, region, err := buildRig()
 	if err != nil {
@@ -460,7 +586,13 @@ func run(baseline string, reps int, threshold float64) error {
 	}
 
 	// Guard 5: the distributed observability plane on the TCP pull path.
-	return distributedObsGate(reps, threshold)
+	if err := distributedObsGate(reps, threshold); err != nil {
+		return err
+	}
+
+	// Guard 6: the elastic membership layer at steady state — leases on,
+	// no topology change.
+	return elasticGate(reps)
 }
 
 func main() {

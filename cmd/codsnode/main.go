@@ -44,13 +44,16 @@ func main() {
 			"carrying trace context, for the driver to drain into its merged trace")
 		obsHTTP = flag.String("obs-http", "", "serve the metrics registry over HTTP on this address "+
 			"(announced as CODSNODE OBS)")
-		pprof = flag.Bool("pprof", false, "also serve net/http/pprof handlers on the -obs-http listener")
+		pprof       = flag.Bool("pprof", false, "also serve net/http/pprof handlers on the -obs-http listener")
+		incarnation = flag.Uint64("incarnation", 0, "membership incarnation of this serving process "+
+			"(a replacement for a crashed node carries a strictly higher one)")
 	)
 	flag.Parse()
 	if err := run(nodeOptions{
 		node: *node, nodes: *nodes, cores: *cores,
 		domainSpec: *domainSpec, listen: *listen, seed: *seed,
 		obs: *obsOn, spans: *spans, obsHTTP: *obsHTTP, pprof: *pprof,
+		incarnation: *incarnation,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "codsnode: %v\n", err)
 		os.Exit(1)
@@ -65,6 +68,7 @@ type nodeOptions struct {
 	spans              bool
 	obsHTTP            string
 	pprof              bool
+	incarnation        uint64
 }
 
 func run(o nodeOptions) error {
@@ -87,7 +91,7 @@ func run(o nodeOptions) error {
 		return err
 	}
 	fabric := fw.TransportFabric()
-	be, err := tcpnet.Serve(fabric, cluster.NodeID(o.node), o.listen, tcpnet.Config{})
+	be, err := tcpnet.Serve(fabric, cluster.NodeID(o.node), o.listen, tcpnet.Config{Incarnation: o.incarnation})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,311 @@
+package main
+
+// The driver side of the elastic membership layer (DESIGN §5h): every
+// codsnode registers in a lease registry, a monitor renews the leases by
+// probing the children over the wire, and a reconcile loop sweeps for
+// expired leases — a crash — then converges: reap the corpse, spawn a
+// replacement at a higher incarnation, push the join to every peer, and
+// re-stage the crashed node's staged blocks from the driver's put ledger
+// while in-flight pulls retry against the re-validated routing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	cods "github.com/insitu/cods"
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/dht"
+	"github.com/insitu/cods/internal/membership"
+)
+
+// elastic bundles the membership mechanisms of one -elastic run.
+type elastic struct {
+	o      options
+	fw     *cods.Framework
+	tc     *tcpCluster
+	reg    *membership.Registry
+	ledger *membership.Ledger
+	mon    *membership.Monitor
+
+	// varApp maps a staged variable back to the application that stages
+	// it, so a re-staged block lands in the same lookup namespace.
+	varApp map[string]int
+	defApp int
+
+	stop chan struct{}
+	done chan struct{}
+
+	converging atomic.Bool
+	// chaosArmed counts armed crash hooks; Settle refuses to declare the
+	// topology settled until at least that many nodes were reconciled,
+	// even when every pull happened to complete before the kill landed.
+	chaosArmed atomic.Int64
+
+	mu      sync.Mutex
+	results []membership.Result
+	failure error
+}
+
+// startElastic joins every codsnode into the lease registry, installs the
+// put ledger, and starts the lease monitor and the reconcile loop.
+func startElastic(fw *cods.Framework, o options, d *cods.DAG, tc *tcpCluster) (*elastic, error) {
+	el := &elastic{
+		o: o, fw: fw, tc: tc,
+		reg:    membership.NewRegistry(o.leaseTTL),
+		ledger: membership.NewLedger(),
+		varApp: make(map[string]int),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	inBundle := make(map[int]bool)
+	for _, b := range d.Bundles {
+		if len(b) > 1 {
+			for _, a := range b {
+				inBundle[a] = true
+			}
+		}
+	}
+	for _, id := range d.Apps {
+		if el.defApp == 0 {
+			el.defApp = id
+		}
+		if len(d.Parents(id)) == 0 && !inBundle[id] {
+			el.varApp[fmt.Sprintf("data.%d", id)] = id
+		}
+	}
+	// Membership events become trace spans when the run traces at all, so
+	// a crash and its recovery are visible inline with the pulls they
+	// disrupted.
+	if tr := fw.SpanTracer(); tr != nil {
+		el.reg.SetEventHook(func(ev string, node cluster.NodeID) {
+			tr.Event(0, fmt.Sprintf("membership.%s node %d", ev, node))
+		})
+	}
+	for node := 0; node < o.nodes; node++ {
+		if err := el.reg.Join(cluster.NodeID(node), tc.addr(node), 1); err != nil {
+			return nil, err
+		}
+	}
+	fw.SharedSpace().SetPutRecorder(el.ledger)
+	interval := o.leaseTTL / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	el.mon = membership.NewMonitor(el.reg, interval, func(node cluster.NodeID, inc uint64) error {
+		_, err := tc.be.ProbeLease(node, inc)
+		return err
+	})
+	el.mon.Start()
+	go el.loop(interval)
+	return el, nil
+}
+
+// loop sweeps the registry for expired leases and converges on each
+// topology change until stopped.
+func (el *elastic) loop(interval time.Duration) {
+	defer close(el.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-el.stop:
+			return
+		case <-t.C:
+			if expired := el.reg.Sweep(); len(expired) > 0 {
+				el.converge(expired)
+			}
+		}
+	}
+}
+
+// converge replaces each expired node's process — reap, spawn at the next
+// incarnation, announce to every peer, re-join — then runs the reconciler
+// so the crashed processes' staged blocks are re-staged and every lookup
+// record and cached schedule reflects the new processes. The replacement
+// takes the dead node's slot, so the interval assignment is unchanged and
+// the reconciler's re-split step is skipped.
+func (el *elastic) converge(expired []cluster.NodeID) {
+	el.converging.Store(true)
+	defer el.converging.Store(false)
+	for _, node := range expired {
+		el.fw.RetireNode(int(node))
+	}
+	for _, node := range expired {
+		el.tc.reap(int(node))
+		inc := el.reg.Incarnation(node) + 1
+		addr, err := el.tc.spawnNode(int(node), inc)
+		if err != nil {
+			el.fail(fmt.Errorf("membership: replacing node %d: %w", node, err))
+			return
+		}
+		if err := el.tc.be.PushJoin(node, addr, inc); err != nil {
+			el.fail(fmt.Errorf("membership: announcing node %d replacement: %w", node, err))
+			return
+		}
+		if err := el.reg.Join(node, addr, inc); err != nil {
+			el.fail(err)
+			return
+		}
+	}
+	if err := el.tc.be.PushPeers(); err != nil {
+		el.fail(fmt.Errorf("membership: distributing peer addresses: %w", err))
+		return
+	}
+	space := el.fw.SharedSpace()
+	rc := membership.NewReconciler(el.reg, el.ledger, el.fw.MachineInfo(), membership.Actions{
+		Restage: func(b membership.Block) error {
+			return space.HandleAt(b.Owner, el.appOf(b.Var), "elastic").
+				PutSequential(b.Var, b.Version, b.Region, b.Data)
+		},
+		Reinsert: func(b membership.Block) error {
+			return space.Lookup().ClientAt(b.Owner).Insert("elastic", el.appOf(b.Var), dht.Entry{
+				Var: b.Var, Version: b.Version, Region: b.Region, Owner: b.Owner,
+			})
+		},
+		Invalidate: space.InvalidateAll,
+	})
+	res, err := rc.Reconcile(expired)
+	if err != nil {
+		el.fail(err)
+		return
+	}
+	el.mu.Lock()
+	el.results = append(el.results, res)
+	el.mu.Unlock()
+	for _, node := range expired {
+		el.fw.RestoreNode(int(node))
+	}
+	fmt.Printf("membership: reconciled %d node(s): re-staged %d blocks (%d B), re-registered %d records\n",
+		len(res.Affected), res.RestagedCount, res.MigratedBytes, res.Reinserted)
+}
+
+// appOf maps a staged variable to the application whose namespace it
+// lives in.
+func (el *elastic) appOf(v string) int {
+	if id, ok := el.varApp[v]; ok {
+		return id
+	}
+	return el.defApp
+}
+
+func (el *elastic) fail(err error) {
+	fmt.Printf("membership: convergence failed: %v\n", err)
+	el.mu.Lock()
+	if el.failure == nil {
+		el.failure = err
+	}
+	el.mu.Unlock()
+}
+
+// Err returns the first convergence failure, if any.
+func (el *elastic) Err() error {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	return el.failure
+}
+
+// totals sums every reconcile pass — the external side of the report's
+// membership reconciliation.
+func (el *elastic) totals() membership.Result {
+	el.mu.Lock()
+	defer el.mu.Unlock()
+	var tot membership.Result
+	for _, r := range el.results {
+		tot.Affected = append(tot.Affected, r.Affected...)
+		tot.RestagedCount += r.RestagedCount
+		tot.MigratedBytes += r.MigratedBytes
+		tot.Reinserted += r.Reinserted
+		tot.MovedRecords += r.MovedRecords
+	}
+	return tot
+}
+
+// members snapshots the registry for the obs /members endpoint.
+func (el *elastic) members() any { return el.reg.Members() }
+
+// membersJSON renders the member snapshot for the report metadata.
+func (el *elastic) membersJSON() string {
+	data, err := json.Marshal(el.reg.Members())
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// Settle waits until no convergence is in flight and every member holds a
+// live lease, then surfaces any convergence failure — called between the
+// workflow and stats collection so the driver only talks to settled
+// children.
+func (el *elastic) Settle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := el.Err(); err != nil {
+			return err
+		}
+		recovered := int64(len(el.totals().Affected))
+		if !el.converging.Load() && el.allAlive() && recovered >= el.chaosArmed.Load() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("membership: convergence did not settle within %s", timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (el *elastic) allAlive() bool {
+	for _, m := range el.reg.Members() {
+		if m.State != "alive" {
+			return false
+		}
+	}
+	return true
+}
+
+// startChaos arms the crash hook: once the put ledger shows staging done —
+// at least `after` blocks, or no growth across ten polls when after is 0 —
+// the node's codsnode child is hard-killed, and recovery is left entirely
+// to lease expiry and the reconcile loop.
+func (el *elastic) startChaos(node, after int) {
+	el.chaosArmed.Add(1)
+	go func() {
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		last, stable := -1, 0
+		for {
+			select {
+			case <-el.stop:
+				return
+			case <-t.C:
+			}
+			n := el.ledger.Len()
+			if after > 0 {
+				if n < after {
+					continue
+				}
+			} else {
+				if n == 0 || n != last {
+					last, stable = n, 0
+					continue
+				}
+				if stable++; stable < 10 {
+					continue
+				}
+			}
+			fmt.Printf("chaos: killing codsnode %d (%d blocks staged)\n", node, n)
+			el.tc.kill(node)
+			return
+		}
+	}()
+}
+
+// Stop halts the monitor and the reconcile loop and detaches the ledger.
+func (el *elastic) Stop() {
+	el.mon.Stop()
+	close(el.stop)
+	<-el.done
+	el.fw.SharedSpace().SetPutRecorder(nil)
+}

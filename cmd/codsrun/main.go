@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	cods "github.com/insitu/cods"
@@ -63,6 +65,10 @@ type options struct {
 	taskRemap        bool
 	backend          string
 	codsnodePath     string
+	elastic          bool
+	leaseTTL         time.Duration
+	chaosKill        int
+	chaosAfter       int
 }
 
 func main() {
@@ -92,6 +98,14 @@ func main() {
 		"tcp (one codsnode child process per node, operations over loopback TCP)")
 	flag.StringVar(&o.codsnodePath, "codsnode", "", "path to the codsnode binary for -backend=tcp "+
 		"(default: next to this binary, then $PATH)")
+	flag.BoolVar(&o.elastic, "elastic", false, "with -backend=tcp, run the elastic membership layer: every codsnode "+
+		"holds a heartbeat-renewed lease, and a crashed node is replaced and its staged data re-staged automatically")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", time.Second, "membership lease TTL for -elastic "+
+		"(heartbeats and expiry sweeps run at a quarter of this)")
+	flag.IntVar(&o.chaosKill, "chaos-kill", -1, "with -elastic, kill this node's codsnode child once staging is done, "+
+		"to exercise crash recovery under live traffic (-1 disables)")
+	flag.IntVar(&o.chaosAfter, "chaos-after", 0, "with -chaos-kill, fire once the put ledger holds at least this many "+
+		"blocks (0: fire when the ledger stops growing)")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-node task placement of every stage")
 	var appSpecs appFlags
 	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
@@ -206,11 +220,25 @@ func run(o options) error {
 		cods.EnableObservability(true)
 		defer cods.EnableObservability(false)
 	}
+	// The membership view is published before the elastic runtime exists:
+	// the /members closure dereferences this pointer on each request, so
+	// the handler can be mounted first and start answering once the
+	// registry is up.
+	var elPtr atomic.Pointer[elastic]
 	if o.obsHTTP != "" {
-		h := obs.NewHandler(obs.Default, obs.HandlerOpts{
+		hopts := obs.HandlerOpts{
 			Flows: func() []cluster.Flow { return fw.MachineInfo().Metrics().Flows("") },
 			Pprof: o.pprof,
-		})
+		}
+		if o.elastic {
+			hopts.Members = func() any {
+				if el := elPtr.Load(); el != nil {
+					return el.members()
+				}
+				return nil
+			}
+		}
+		h := obs.NewHandler(obs.Default, hopts)
 		srv, err := obs.Serve(o.obsHTTP, h)
 		if err != nil {
 			return err
@@ -231,15 +259,19 @@ func run(o options) error {
 	// Transport backend: with -backend=tcp one codsnode child process is
 	// launched per node and every data operation crosses real sockets.
 	var tcpBE *tcpnet.Backend
+	var tc *tcpCluster
 	switch o.backend {
 	case "", "inproc":
+		if o.elastic {
+			return fmt.Errorf("-elastic needs -backend=tcp (leases are held by codsnode processes)")
+		}
 	case "tcp":
-		be, children, err := startTCPBackend(fw, o, domain)
+		tc, err = startTCPBackend(fw, o, domain)
 		if err != nil {
 			return err
 		}
-		tcpBE = be
-		defer stopTCPBackend(fw, be, children)
+		tcpBE = tc.be
+		defer tc.stop(fw)
 	default:
 		return fmt.Errorf("unknown backend %q (want inproc or tcp)", o.backend)
 	}
@@ -271,6 +303,29 @@ func run(o options) error {
 		fw.SetTaskRetry(cods.TaskRetryPolicy{Policy: pol, Remap: o.taskRemap})
 	} else if o.taskRemap {
 		return fmt.Errorf("-task-remap needs -task-retry > 0")
+	}
+
+	// Elastic membership: leases on every codsnode, a monitor renewing
+	// them, and a reconcile loop that replaces crashed processes and
+	// re-stages their data while the workflow keeps running.
+	var el *elastic
+	if o.elastic {
+		el, err = startElastic(fw, o, d, tc)
+		if err != nil {
+			return err
+		}
+		elPtr.Store(el)
+		defer el.Stop()
+		fmt.Printf("elastic membership: %d leases of %s (heartbeat every %s)\n",
+			o.nodes, o.leaseTTL, o.leaseTTL/4)
+		if o.chaosKill >= 0 {
+			if o.chaosKill >= o.nodes {
+				return fmt.Errorf("-chaos-kill %d out of range (0..%d)", o.chaosKill, o.nodes-1)
+			}
+			el.startChaos(o.chaosKill, o.chaosAfter)
+		}
+	} else if o.chaosKill >= 0 {
+		return fmt.Errorf("-chaos-kill needs -elastic")
 	}
 
 	// Decomposition declarations come from the DAG file's DECOMP
@@ -371,6 +426,14 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// A convergence still in flight at workflow end must finish before any
+	// child is asked for its accounting — and a convergence failure is a
+	// run failure even when every task happened to complete.
+	if el != nil {
+		if err := el.Settle(30 * time.Second); err != nil {
+			return err
+		}
+	}
 	// Remote endpoint groups meter the transfers they execute; fold their
 	// accounting into the driver before any traffic is reported, and
 	// splice the handler spans the children captured into the driver's
@@ -430,7 +493,7 @@ func run(o options) error {
 		fmt.Printf("span trace written to %s\n", o.spansPath)
 	}
 	if o.report {
-		if err := writeReport(fw, d, o, rep, tcpBE); err != nil {
+		if err := writeReport(fw, d, o, rep, tcpBE, el); err != nil {
 			return err
 		}
 		fmt.Printf("observability report written to %s\n", o.reportPath)
@@ -445,8 +508,11 @@ func run(o options) error {
 // per codsnode process, each reconciling that child's shipped registry
 // snapshot against the fabric stats and wire counters shipped in the
 // same stats reply, plus a driver-side check of the wire-mirror counters
-// against the backend's own byte accounting.
-func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report, tcpBE *tcpnet.Backend) error {
+// against the backend's own byte accounting. With -elastic the report also
+// reconciles the membership counters — joins, expirations, migrated bytes
+// and blocks, re-registered records — against the reconciler's summed
+// results, so a crash recovery that moved data is accounted delta-0 too.
+func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report, tcpBE *tcpnet.Backend, el *elastic) error {
 	r := obs.NewReport("codsrun")
 	r.SetMeta("dag", o.dagPath)
 	r.SetMeta("policy", o.policyName)
@@ -503,6 +569,17 @@ func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report, t
 			n.AddCheck("tcpnet.segments.bytes_served", c["tcpnet.segments.bytes_served"], acct.Wire.SegmentBytesServed)
 		}
 	}
+	if el != nil {
+		tot := el.totals()
+		c := r.Metrics.Counters
+		replaced := int64(len(tot.Affected))
+		r.AddCheck("membership.joins", c["membership.joins"], int64(o.nodes)+replaced)
+		r.AddCheck("membership.expirations", c["membership.expirations"], replaced)
+		r.AddCheck("membership.migrated_blocks", c["membership.migrated_blocks"], tot.RestagedCount)
+		r.AddCheck("membership.migrated_bytes", c["membership.migrated_bytes"], tot.MigratedBytes)
+		r.AddCheck("membership.reinserted_records", c["membership.reinserted_records"], tot.Reinserted)
+		r.SetMeta("membership.members", el.membersJSON())
+	}
 	return r.WriteFile(o.reportPath)
 }
 
@@ -531,33 +608,38 @@ func findCodsnode(o options) (string, error) {
 	return "", fmt.Errorf("-backend=tcp needs the codsnode binary (build cmd/codsnode and pass -codsnode or put it on $PATH)")
 }
 
+// tcpCluster is the driver's handle on the codsnode child processes of a
+// -backend=tcp run: the connected backend, the shared child arguments,
+// and the live children keyed by node, so the elastic reconcile loop can
+// kill, reap and replace a single node's process while the rest serve.
+type tcpCluster struct {
+	be   *tcpnet.Backend
+	bin  string
+	args []string // shared child flags, without -node/-incarnation
+
+	mu       sync.Mutex
+	children map[int]*exec.Cmd
+	addrs    map[int]string
+}
+
 // startTCPBackend launches one codsnode child per node, collects their
 // listen addresses, distributes the address table so children can reach
 // each other, and installs the connected TCP backend on the framework's
-// fabric.
-func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backend, []*exec.Cmd, error) {
+// fabric. With -elastic every child starts at incarnation 1, so a
+// replacement can supersede it with a strictly higher one.
+func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpCluster, error) {
 	bin, err := findCodsnode(o)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	dims := make([]string, len(domain))
 	for i, d := range domain {
 		dims[i] = strconv.Itoa(d)
 	}
-	domSpec := strings.Join(dims, "x")
-
-	var children []*exec.Cmd
-	fail := func(err error) (*tcpnet.Backend, []*exec.Cmd, error) {
-		for _, c := range children {
-			c.Process.Kill()
-			c.Wait()
-		}
-		return nil, nil, err
-	}
 	args := []string{
 		"-nodes", strconv.Itoa(o.nodes),
 		"-cores", strconv.Itoa(o.cores),
-		"-domain", domSpec,
+		"-domain", strings.Join(dims, "x"),
 	}
 	// Children mirror the driver's observability posture: a reconciled
 	// report needs every child's registry counting from process start, a
@@ -575,28 +657,23 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backe
 			args = append(args, "-pprof")
 		}
 	}
+	tc := &tcpCluster{bin: bin, args: args,
+		children: make(map[int]*exec.Cmd), addrs: make(map[int]string)}
+	fail := func(err error) (*tcpCluster, error) {
+		tc.killAll()
+		return nil, err
+	}
+	var inc uint64
+	if o.elastic {
+		inc = 1
+	}
 	peers := make(map[cluster.NodeID]string, o.nodes)
 	for node := 0; node < o.nodes; node++ {
-		cmd := exec.Command(bin, append([]string{"-node", strconv.Itoa(node)}, args...)...)
-		cmd.Stderr = os.Stderr
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return fail(err)
-		}
-		if err := cmd.Start(); err != nil {
-			return fail(fmt.Errorf("starting codsnode %d: %w", node, err))
-		}
-		children = append(children, cmd)
-		addr, obsAddr, err := scrapeChildAddrs(stdout)
+		addr, err := tc.spawnNode(node, inc)
 		if err != nil {
 			return fail(fmt.Errorf("codsnode %d: %w", node, err))
 		}
-		go io.Copy(io.Discard, stdout)
 		peers[cluster.NodeID(node)] = addr
-		fmt.Printf("codsnode %d serving at %s\n", node, addr)
-		if obsAddr != "" {
-			fmt.Printf("codsnode %d metrics at http://%s/metrics (flow matrix at /flows)\n", node, obsAddr)
-		}
 	}
 	be, err := tcpnet.Connect(fw.TransportFabric(), peers, tcpnet.Config{})
 	if err != nil {
@@ -606,8 +683,88 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpnet.Backe
 		be.Close()
 		return fail(fmt.Errorf("distributing peer addresses: %w", err))
 	}
+	tc.be = be
 	fw.TransportFabric().SetBackend(be)
-	return be, children, nil
+	return tc, nil
+}
+
+// spawnNode launches one codsnode child (incarnation 0 omits the flag),
+// waits for its listen announcement, and records it as the node's serving
+// process.
+func (tc *tcpCluster) spawnNode(node int, inc uint64) (string, error) {
+	args := append([]string{"-node", strconv.Itoa(node)}, tc.args...)
+	if inc != 0 {
+		args = append(args, "-incarnation", strconv.FormatUint(inc, 10))
+	}
+	cmd := exec.Command(tc.bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", fmt.Errorf("starting codsnode %d: %w", node, err)
+	}
+	addr, obsAddr, err := scrapeChildAddrs(stdout)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return "", err
+	}
+	go io.Copy(io.Discard, stdout)
+	tc.mu.Lock()
+	tc.children[node] = cmd
+	tc.addrs[node] = addr
+	tc.mu.Unlock()
+	fmt.Printf("codsnode %d serving at %s\n", node, addr)
+	if obsAddr != "" {
+		fmt.Printf("codsnode %d metrics at http://%s/metrics (flow matrix at /flows)\n", node, obsAddr)
+	}
+	return addr, nil
+}
+
+// addr returns a node's announced listen address.
+func (tc *tcpCluster) addr(node int) string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.addrs[node]
+}
+
+// kill terminates a node's child without reaping it — the chaos hook's
+// crash. The reconcile loop detects the expired lease, reaps the corpse
+// and spawns the replacement.
+func (tc *tcpCluster) kill(node int) {
+	tc.mu.Lock()
+	cmd := tc.children[node]
+	tc.mu.Unlock()
+	if cmd != nil {
+		cmd.Process.Kill()
+	}
+}
+
+// reap kills (idempotent on a corpse) and waits out a node's child,
+// freeing the slot for a replacement spawn.
+func (tc *tcpCluster) reap(node int) {
+	tc.mu.Lock()
+	cmd := tc.children[node]
+	delete(tc.children, node)
+	tc.mu.Unlock()
+	if cmd != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}
+
+// killAll hard-kills every child (startup failure cleanup).
+func (tc *tcpCluster) killAll() {
+	tc.mu.Lock()
+	children := tc.children
+	tc.children = make(map[int]*exec.Cmd)
+	tc.mu.Unlock()
+	for _, c := range children {
+		c.Process.Kill()
+		c.Wait()
+	}
 }
 
 // scrapeChildAddrs reads the child's stdout until its CODSNODE LISTEN
@@ -631,12 +788,16 @@ func scrapeChildAddrs(r io.Reader) (listen, obsAddr string, err error) {
 	return "", "", fmt.Errorf("exited before announcing a listen address")
 }
 
-// stopTCPBackend restores in-process routing, asks every child to exit
-// and reaps them, killing any straggler after a grace period.
-func stopTCPBackend(fw *cods.Framework, be *tcpnet.Backend, children []*exec.Cmd) {
+// stop restores in-process routing, asks every child to exit and reaps
+// them, killing any straggler after a grace period.
+func (tc *tcpCluster) stop(fw *cods.Framework) {
 	fw.TransportFabric().SetBackend(nil)
-	be.ShutdownPeers()
-	be.Close()
+	tc.be.ShutdownPeers()
+	tc.be.Close()
+	tc.mu.Lock()
+	children := tc.children
+	tc.children = make(map[int]*exec.Cmd)
+	tc.mu.Unlock()
 	for _, c := range children {
 		c := c
 		done := make(chan struct{})

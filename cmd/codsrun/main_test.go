@@ -24,6 +24,7 @@ func opts(nodes, cores int, domain, dag, policy string, iterations, halo int, ve
 		nodes: nodes, cores: cores, domainSpec: domain, dagPath: dag,
 		policyName: policy, iterations: iterations, halo: halo,
 		verify: verify, verbose: verbose,
+		chaosKill: -1,
 	}
 }
 

@@ -381,3 +381,18 @@ func (f *Framework) FaultsInjected() int64 { return f.server.Fabric().FaultsInje
 // can install an alternative data-movement backend (transport.SetBackend)
 // — e.g. the TCP backend that routes operations to codsnode processes.
 func (f *Framework) TransportFabric() *transport.Fabric { return f.server.Fabric() }
+
+// SharedSpace exposes the framework's CoDS shared space, so an elastic
+// driver can install membership hooks on it: the staged-block ledger
+// (SetPutRecorder), schedule invalidation after a topology change
+// (InvalidateAll), and lookup re-registration through Lookup.
+func (f *Framework) SharedSpace() *icods.Space { return f.server.Space() }
+
+// RetireNode withdraws a crashed node's execution clients from the task
+// remap spare pool, so retried tasks only land on surviving cores while
+// the node has no serving process.
+func (f *Framework) RetireNode(node int) { f.server.RetireNode(cluster.NodeID(node)) }
+
+// RestoreNode re-admits a node's execution clients to the remap spare
+// pool once a replacement process serves it again.
+func (f *Framework) RestoreNode(node int) { f.server.RestoreNode(cluster.NodeID(node)) }

@@ -61,6 +61,36 @@ func TestConformanceFaultsConcurrentPulls(t *testing.T) {
 	}
 }
 
+// TestConformanceElastic is the sweep pinned to topology-chaos
+// scenarios: after the first get round a node is killed — its staged
+// blocks migrate to a survivor and the lookup intervals re-split over
+// the remaining nodes — and on even seeds a replacement then rejoins.
+// Every post-change get round must stay byte-identical to the reference
+// model on both backends, with all accounting invariants intact.
+func TestConformanceElastic(t *testing.T) {
+	n := conformanceSeeds(t, 12)
+	for seed := uint64(1); seed <= n; seed++ {
+		sc := genwf.Generate(2000 + seed)
+		sc.Sequential = true
+		sc.Versions = 1
+		sc.Restage = false
+		if sc.Mapping == genwf.ServerDataCentric {
+			sc.Mapping = genwf.Consecutive
+		}
+		if sc.Nodes < 2 {
+			sc.Nodes = 2
+		}
+		sc.Kill = 1 + int(seed)%sc.Nodes
+		sc.Rejoin = seed%2 == 0
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := conformance.RunCross(sc); err != nil {
+			reportShrunkCross(t, sc, err)
+		}
+	}
+}
+
 // reportShrunk shrinks a failing scenario and fails the test with the
 // minimal reproduction: the original error, the runnable Go literal and
 // the .dag-style repro.
@@ -119,7 +149,7 @@ func TestConformanceShrinkOnForcedFailure(t *testing.T) {
 	// to its floor.
 	if min.Nodes != 1 || min.CoresPerNode != 1 || len(min.Domain) != 1 ||
 		min.Versions != 1 || min.Vars != 1 || min.Ghost != 0 ||
-		min.Faults != "" || min.Restage {
+		min.Faults != "" || min.Restage || min.Kill != 0 {
 		t.Errorf("scenario not minimal:\n%s", min.GoLiteral())
 	}
 

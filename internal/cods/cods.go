@@ -193,6 +193,19 @@ type Space struct {
 	// retryPol bounds the retrying of failed transfers (nil = single
 	// attempt). Stored atomically so it can be installed while pulls run.
 	retryPol atomic.Pointer[retry.Policy]
+
+	// putRecorder, when set, observes the staged-block lifecycle (the
+	// membership layer's ledger — the source the reconcile loop re-stages
+	// from when an owner crashes without a graceful handoff).
+	putRecorder atomic.Pointer[PutRecorder]
+}
+
+// PutRecorder observes sequentially staged blocks as they are stored and
+// discarded. Implementations must be safe for concurrent use; RecordPut
+// must not retain data beyond the call unless it copies it.
+type PutRecorder interface {
+	RecordPut(v string, version int, region geometry.BBox, owner cluster.CoreID, data []float64)
+	RecordDiscard(v string, version int, region geometry.BBox, owner cluster.CoreID)
 }
 
 // NewSpace builds a CoDS over a fabric for a coupled data domain. The
@@ -263,6 +276,24 @@ func (sp *Space) InvalidateSchedules(v string) {
 	sp.invMu.Lock()
 	sp.varGen[v]++
 	sp.invMu.Unlock()
+}
+
+// InvalidateAll marks every cached communication schedule of every
+// variable stale — a topology change moved ownership wholesale, so any
+// schedule computed before it may point at a departed owner.
+func (sp *Space) InvalidateAll() {
+	sp.invMu.Lock()
+	sp.epoch++
+	sp.invMu.Unlock()
+}
+
+// SetPutRecorder installs the staged-block observer (nil uninstalls).
+func (sp *Space) SetPutRecorder(r PutRecorder) {
+	if r == nil {
+		sp.putRecorder.Store(nil)
+		return
+	}
+	sp.putRecorder.Store(&r)
 }
 
 // scheduleStamp returns the invalidation stamp (global epoch, variable
@@ -558,7 +589,13 @@ func (h *Handle) PutSequential(v string, version int, region geometry.BBox, data
 		return err
 	}
 	cl := h.lookupClient()
-	return cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
+	if err := cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core}); err != nil {
+		return err
+	}
+	if r := h.sp.putRecorder.Load(); r != nil {
+		(*r).RecordPut(v, version, region, h.core, data)
+	}
+	return nil
 }
 
 // maxRequeries bounds how many times a sequential get recomputes its
@@ -976,6 +1013,9 @@ func (h *Handle) DiscardSequential(v string, version int, region geometry.BBox) 
 	err := h.lookupClient().Remove(h.phase, h.app,
 		dht.Entry{Var: v, Version: version, Region: region, Owner: h.core})
 	h.sp.InvalidateSchedules(v)
+	if r := h.sp.putRecorder.Load(); r != nil {
+		(*r).RecordDiscard(v, version, region, h.core)
+	}
 	return err
 }
 

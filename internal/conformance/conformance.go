@@ -469,7 +469,102 @@ func runSequential(sc genwf.Scenario, opts Options, machine *cluster.Machine, sp
 			return err
 		}
 	}
+
+	if sc.Kill != 0 {
+		killed := sc.Kill - 1
+		if err := elasticRound(sc, opts, machine, space, prod, prodPl, cons,
+			model, pred, consumers, get, killed, false, 1); err != nil {
+			return err
+		}
+		if sc.Rejoin {
+			if err := elasticRound(sc, opts, machine, space, prod, prodPl, cons,
+				model, pred, consumers, get, killed, true, 2); err != nil {
+				return err
+			}
+		}
+	}
 	return checkInvariants(sc, machine, space, pred, consumers, prodPl, consPl, prodApp, consApp)
+}
+
+// elasticRound applies one topology change and re-runs a full get round
+// against it. rejoin=false crashes the node: every block it staged moves
+// to the next surviving node (the elastic driver replays these from its
+// ledger) and the lookup intervals re-split over the survivors.
+// rejoin=true admits the replacement: blocks migrate home and the
+// intervals re-split back to the full set. Either way every cached
+// schedule is invalidated — the epoch bump a real reconcile performs —
+// and the subsequent gets must return byte-identical data via the new
+// routing.
+func elasticRound(sc genwf.Scenario, opts Options, machine *cluster.Machine, space *cods.Space,
+	prod *decomp.Decomposition, prodPl *cluster.Placement, cons *decomp.Decomposition,
+	model *refmodel.Model, pred *predictor, consumers []*consumer,
+	get func(c *consumer, v string, version int, region geometry.BBox) ([]float64, error),
+	killed int, rejoin bool, round int) error {
+	if err := migrateNode(sc, machine, space, prod, prodPl, model, killed, rejoin); err != nil {
+		return err
+	}
+	alive := make([]int, 0, machine.NumNodes())
+	for n := 0; n < machine.NumNodes(); n++ {
+		if rejoin || n != killed {
+			alive = append(alive, n)
+		}
+	}
+	cl := space.Lookup().ClientAt(machine.CoreOn(cluster.NodeID(alive[0]), 0))
+	if _, err := cl.Resplit("elastic", consAppID, alive); err != nil {
+		return fmt.Errorf("conformance: resplit over %v: %w\n%s", alive, err, sc.GoLiteral())
+	}
+	space.InvalidateAll()
+	if err := checkOwners(sc, machine, space, cons, model); err != nil {
+		return err
+	}
+	for _, c := range consumers {
+		for _, v := range sc.VarNames() {
+			for _, region := range c.regions {
+				pred.addGet(model, v, 0, region, c.h.Core())
+			}
+		}
+	}
+	return consumeRound(sc, opts, consumers, model, get, round)
+}
+
+// migrateNode moves every block staged on the killed node to the next
+// surviving node's matching core slot (back=false), or back home again
+// once the replacement rejoined (back=true): discard at the source,
+// re-stage at the destination, mirrored into the model.
+func migrateNode(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
+	prod *decomp.Decomposition, prodPl *cluster.Placement, model *refmodel.Model,
+	killed int, back bool) error {
+	refugeNode := cluster.NodeID((killed + 1) % machine.NumNodes())
+	for r := 0; r < prod.NumTasks(); r++ {
+		home := prodPl.MustCoreOf(cluster.TaskID{App: prodAppID, Rank: r})
+		if int(machine.NodeOf(home)) != killed {
+			continue
+		}
+		refuge := machine.CoreOn(refugeNode, int(home)%machine.CoresPerNode())
+		src, dst := home, refuge
+		if back {
+			src, dst = refuge, home
+		}
+		hSrc := space.HandleAt(src, prodAppID, "elastic")
+		hDst := space.HandleAt(dst, prodAppID, "elastic")
+		for _, v := range sc.VarNames() {
+			for _, piece := range prod.Region(r) {
+				if err := hSrc.DiscardSequential(v, 0, piece); err != nil {
+					return fmt.Errorf("conformance: elastic discard %q %v: %w", v, piece, err)
+				}
+				if err := model.Discard(v, 0, piece, int(src)); err != nil {
+					return err
+				}
+				if err := hDst.PutSequential(v, 0, piece, sc.FillRegion(v, 0, piece)); err != nil {
+					return fmt.Errorf("conformance: elastic put %q %v: %w", v, piece, err)
+				}
+				if err := model.Put(v, 0, piece, int(dst), sc.FillRegion(v, 0, piece)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // restage moves every stored block one node over (one core over on a

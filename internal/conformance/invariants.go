@@ -150,9 +150,10 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 	}
 
 	// 5. The static coupled-traffic analysis agrees with the measured
-	// totals for halo-free, restage-free scenarios (its overlap model
-	// covers exactly the owned regions, once per variable per version).
-	if sc.Ghost == 0 && !sc.Restage {
+	// totals for halo-free, restage-free, topology-stable scenarios (its
+	// overlap model covers exactly the owned regions, once per variable
+	// per version).
+	if sc.Ghost == 0 && !sc.Restage && sc.Kill == 0 {
 		tr, err := mapping.CoupledTraffic(machine, prodPl, consPl, prodApp, consApp, cods.ElemSize)
 		if err != nil {
 			return err
@@ -182,11 +183,21 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 		}
 		distinct += sc.Vars * len(seen)
 	}
-	wantMisses := distinct
+	// Every extra round — a restage, a kill, a rejoin — re-gets
+	// everything after an invalidation that voids every schedule, so
+	// gets and misses both scale with the round count.
+	rounds := 1
 	if sc.Restage {
-		gets *= 2       // the second round re-gets everything...
-		wantMisses *= 2 // ...and restaging invalidated every schedule
+		rounds++
 	}
+	if sc.Kill != 0 {
+		rounds++
+		if sc.Rejoin {
+			rounds++
+		}
+	}
+	gets *= rounds
+	wantMisses := distinct * rounds
 	wantHits := gets - wantMisses
 	if hits != wantHits {
 		return fmt.Errorf("conformance: schedule cache hits = %d, want %d\n%s",

@@ -1,0 +1,131 @@
+package dht
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/geometry"
+)
+
+// insertGrid registers one entry per 4x4 block of a 16x16 domain, owned by
+// round-robin cores, and returns them.
+func insertGrid(t *testing.T, cl *Client, cores int) []Entry {
+	t.Helper()
+	var entries []Entry
+	i := 0
+	for x := 0; x < 16; x += 4 {
+		for y := 0; y < 16; y += 4 {
+			e := Entry{
+				Var:     "pressure",
+				Version: 1,
+				Region:  geometry.NewBBox(geometry.Point{x, y}, geometry.Point{x + 4, y + 4}),
+				Owner:   cluster.CoreID(i % cores),
+			}
+			if err := cl.Insert("p", 1, e); err != nil {
+				t.Fatal(err)
+			}
+			entries = append(entries, e)
+			i++
+		}
+	}
+	return entries
+}
+
+func queryAll(t *testing.T, cl *Client, entries []Entry) {
+	t.Helper()
+	for _, e := range entries {
+		got, err := cl.Query("p", 1, e.Var, e.Version, e.Region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, g := range got {
+			if g.Owner == e.Owner && g.Region.Equal(e.Region) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("entry %+v not found after resplit (got %d entries)", e, len(got))
+		}
+	}
+}
+
+func TestResplitMigratesEntriesAndRemapsIntervals(t *testing.T) {
+	s, _ := service(t, 4, 2, 2, 4) // 4 nodes, index space 256
+	cl := s.ClientAt(1)
+	entries := insertGrid(t, cl, 8)
+
+	moved, err := cl.Resplit("p", 1, []int{0, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("resplit dropping a member moved no entries")
+	}
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("members after resplit: %v", got)
+	}
+	if lo, hi := s.intervalOf(2); lo != 0 || hi != 0 {
+		t.Fatalf("departed member still owns [%d,%d)", lo, hi)
+	}
+	if n := s.TableSize(2); n != 0 {
+		t.Fatalf("departed member retains %d entries", n)
+	}
+	// The surviving members' intervals partition the whole index space.
+	var prevHi uint64
+	for _, n := range s.Members() {
+		lo, hi := s.intervalOf(n)
+		if lo != prevHi || hi <= lo {
+			t.Fatalf("member %d interval [%d,%d), want start %d", n, lo, hi, prevHi)
+		}
+		prevHi = hi
+	}
+	if prevHi != s.curve.Total() {
+		t.Fatalf("intervals end at %d, want %d", prevHi, s.curve.Total())
+	}
+	// Every record is still found, and new inserts route to survivors only.
+	queryAll(t, cl, entries)
+	e := Entry{Var: "pressure", Version: 2,
+		Region: geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{16, 16}), Owner: 3}
+	if err := cl.Insert("p", 1, e); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.TableSize(2); n != 0 {
+		t.Fatalf("insert after resplit landed %d entries on departed member", n)
+	}
+}
+
+func TestResplitRejoinRestoresFullMemberSet(t *testing.T) {
+	s, _ := service(t, 3, 2, 2, 4)
+	cl := s.ClientAt(0)
+	entries := insertGrid(t, cl, 6)
+	if _, err := cl.Resplit("p", 1, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	queryAll(t, cl, entries)
+	// The replacement joins back: the full set is re-established and the
+	// rejoined member's table is repopulated by the handoff.
+	if _, err := cl.Resplit("p", 1, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	queryAll(t, cl, entries)
+	if n := s.TableSize(1); n == 0 {
+		t.Fatal("rejoined member received no entries")
+	}
+}
+
+func TestResplitSkipsCrashedDepartedMember(t *testing.T) {
+	s, f := service(t, 3, 2, 2, 4)
+	cl := s.ClientAt(0)
+	insertGrid(t, cl, 6)
+	// The member crashes before departing: its DHT core is unreachable,
+	// so its records cannot be observed — the resplit must still converge
+	// the survivors instead of failing.
+	f.Endpoint(s.DHTCore(1)).Close()
+	if _, err := cl.Resplit("p", 1, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Members(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("members after crash resplit: %v", got)
+	}
+}

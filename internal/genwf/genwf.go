@@ -108,6 +108,20 @@ type Scenario struct {
 	// schedule-cache invalidation and DHT removal.
 	Restage bool
 
+	// Kill names a node (1-based, so 0 disables) that crashes after the
+	// first get round of a sequential single-version scenario: every
+	// block staged on it is re-staged onto a surviving node (the elastic
+	// driver replays these from its ledger), the lookup intervals are
+	// re-split over the survivors, cached schedules are invalidated, and
+	// a second get round must still return byte-identical data.
+	Kill int
+
+	// Rejoin, for a Kill scenario, admits a replacement into the crashed
+	// node's slot after the post-kill round: the migrated blocks move
+	// home, the intervals re-split back to the full member set, and a
+	// third get round runs.
+	Rejoin bool
+
 	// Faults is an optional transport fault-plan JSON ("" = none). The
 	// generator only emits recoverable plans: every error window or
 	// fire bound stays below the retry budget.
@@ -222,6 +236,23 @@ func (sc Scenario) Validate() error {
 	if sc.Restage && (!sc.Sequential || sc.Versions != 1) {
 		return fmt.Errorf("genwf: restage requires sequential single-version coupling")
 	}
+	if sc.Kill < 0 || sc.Kill > sc.Nodes {
+		return fmt.Errorf("genwf: kill = %d with %d nodes", sc.Kill, sc.Nodes)
+	}
+	if sc.Kill != 0 {
+		if !sc.Sequential || sc.Versions != 1 {
+			return fmt.Errorf("genwf: kill requires sequential single-version coupling")
+		}
+		if sc.Nodes < 2 {
+			return fmt.Errorf("genwf: kill needs a surviving node")
+		}
+		if sc.Restage {
+			return fmt.Errorf("genwf: kill and restage are exclusive")
+		}
+	}
+	if sc.Rejoin && sc.Kill == 0 {
+		return fmt.Errorf("genwf: rejoin without kill")
+	}
 	if sc.Faults != "" && sc.Retry < 2 {
 		return fmt.Errorf("genwf: fault plan without a retry budget")
 	}
@@ -297,6 +328,10 @@ func generate(r *rng, seed uint64) Scenario {
 	if sc.Sequential {
 		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin), int(ClientDataCentric)))
 		sc.Restage = sc.Versions == 1 && r.intn(4) == 0
+		if sc.Nodes > 1 && sc.Versions == 1 && !sc.Restage && r.intn(2) == 0 {
+			sc.Kill = 1 + r.intn(sc.Nodes)
+			sc.Rejoin = r.intn(2) == 0
+		}
 	} else {
 		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin), int(ServerDataCentric)))
 		sc.Staged = r.intn(2) == 0
@@ -418,6 +453,9 @@ func (sc Scenario) GoLiteral() string {
 		sc.Vars, sc.Ghost, sc.Versions, policyLiteral(sc.Mapping))
 	fmt.Fprintf(&b, "\tPullWorkers: %d, SpanCache: %d, Staged: %v, Restage: %v,\n",
 		sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	if sc.Kill != 0 {
+		fmt.Fprintf(&b, "\tKill: %d, Rejoin: %v,\n", sc.Kill, sc.Rejoin)
+	}
 	fmt.Fprintf(&b, "\tFaults: %q, Retry: %d,\n", sc.Faults, sc.Retry)
 	fmt.Fprintf(&b, "}")
 	return b.String()
@@ -434,6 +472,9 @@ func (sc Scenario) DAG() string {
 	fmt.Fprintf(&b, "# consumer: %s grid=%v block=%v ghost=%d\n", sc.ConsKind, sc.ConsGrid, sc.ConsBlock, sc.Ghost)
 	fmt.Fprintf(&b, "# vars=%d versions=%d mapping=%s workers=%d spancache=%d staged=%v restage=%v\n",
 		sc.Vars, sc.Versions, sc.Mapping, sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	if sc.Kill != 0 {
+		fmt.Fprintf(&b, "# elastic: kill node %d after round 0, rejoin=%v\n", sc.Kill-1, sc.Rejoin)
+	}
 	if sc.Faults != "" {
 		fmt.Fprintf(&b, "# faults: %s (retry %d)\n", sc.Faults, sc.Retry)
 	}

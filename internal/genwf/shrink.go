@@ -51,6 +51,15 @@ func candidates(sc Scenario) []Scenario {
 	if sc.Restage {
 		add(func(c *Scenario) { c.Restage = false })
 	}
+	if sc.Rejoin {
+		add(func(c *Scenario) { c.Rejoin = false })
+	}
+	if sc.Kill != 0 {
+		add(func(c *Scenario) { c.Kill, c.Rejoin = 0, false })
+		if sc.Kill > 1 {
+			add(func(c *Scenario) { c.Kill = 1 })
+		}
+	}
 	if !sc.Sequential && !sc.Staged {
 		add(func(c *Scenario) { c.Staged = true })
 	}

@@ -54,10 +54,20 @@ const (
 	// and total byte counts intact — the observability-plane twin of
 	// SwapFlow, living in the aggregation instead of the recording.
 	ObsFlowMisattribute = "obs-flow-misattribute"
+	// StaleRouteAfterResplit keeps the DHT query fan-out on the routing
+	// table that predates the last interval re-split, so lookups after a
+	// topology change are sent to the pre-migration interval owners —
+	// including departed nodes whose tables were handed off and cleared.
+	StaleRouteAfterResplit = "stale-route-after-resplit"
+	// LeaseExpiryIgnored makes the membership registry's expiry sweep treat
+	// every lease as live, so a crashed node that stopped renewing is never
+	// marked expired and the reconcile loop never converges around it.
+	LeaseExpiryIgnored = "lease-expiry-ignored"
 )
 
 // Names lists every seeded defect, in a stable order.
 func Names() []string {
 	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
-		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder, ObsFlowMisattribute}
+		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder, ObsFlowMisattribute,
+		StaleRouteAfterResplit, LeaseExpiryIgnored}
 }

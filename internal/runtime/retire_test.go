@@ -1,0 +1,36 @@
+package runtime
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+)
+
+func TestRetireNodeExcludesCoresFromSparePool(t *testing.T) {
+	s := newServer(t, 2, 2, []int{8, 8}) // cores 0,1 on node 0; 2,3 on node 1
+	if spare, ok := s.spareCore(0); !ok || spare != 1 {
+		t.Fatalf("spare for 0 = %d, %v; want 1, true", spare, ok)
+	}
+	s.RetireNode(1)
+	// Only node 0's other core remains eligible.
+	if spare, ok := s.spareCore(0); !ok || spare != 1 {
+		t.Fatalf("spare for 0 after retire = %d, %v; want 1, true", spare, ok)
+	}
+	// With core 1 as the busy one, the only candidates are node 1's cores
+	// — all retired, so there is no spare.
+	s.markClients([]cluster.CoreID{0}, clientBusy)
+	if spare, ok := s.spareCore(1); ok {
+		t.Fatalf("spare for 1 picked retired core %d", spare)
+	}
+	// markClients must not resurrect retired clients (the group teardown
+	// path marks its cores idle when the bundle finishes).
+	s.markClients([]cluster.CoreID{2, 3}, clientIdle)
+	if spare, ok := s.spareCore(1); ok {
+		t.Fatalf("group teardown resurrected retired core %d", spare)
+	}
+	// RestoreNode re-admits the replacement's cores.
+	s.RestoreNode(1)
+	if spare, ok := s.spareCore(1); !ok || spare != 2 {
+		t.Fatalf("spare for 1 after restore = %d, %v; want 2, true", spare, ok)
+	}
+}

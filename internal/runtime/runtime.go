@@ -163,6 +163,9 @@ type clientState int
 const (
 	clientIdle clientState = iota
 	clientBusy
+	// clientRetired marks a core whose node left the member set: it is
+	// never picked as a remap spare until the node rejoins (RestoreNode).
+	clientRetired
 )
 
 // Server is the workflow management server plus the shared substrate
@@ -619,11 +622,41 @@ func (s *Server) spareCore(busy cluster.CoreID) (cluster.CoreID, bool) {
 	return best, found
 }
 
-// markClients flips the registration state of a core set.
+// markClients flips the registration state of a core set. Retired cores
+// keep their state: a group teardown racing a node retirement must not
+// resurrect the departed node's clients.
 func (s *Server) markClients(cores []cluster.CoreID, st clientState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, c := range cores {
+		if s.clients[c] == clientRetired {
+			continue
+		}
 		s.clients[c] = st
+	}
+}
+
+// RetireNode withdraws every execution client on a node from the remap
+// spare pool — the node's serving process left the member set, so a
+// retried task must move to a surviving core, never onto the dead node.
+func (s *Server) RetireNode(node cluster.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := 0; c < s.machine.TotalCores(); c++ {
+		if s.machine.NodeOf(cluster.CoreID(c)) == node {
+			s.clients[cluster.CoreID(c)] = clientRetired
+		}
+	}
+}
+
+// RestoreNode re-registers a node's execution clients after a replacement
+// process joined its slot.
+func (s *Server) RestoreNode(node cluster.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := 0; c < s.machine.TotalCores(); c++ {
+		if s.machine.NodeOf(cluster.CoreID(c)) == node && s.clients[cluster.CoreID(c)] == clientRetired {
+			s.clients[cluster.CoreID(c)] = clientIdle
+		}
 	}
 }

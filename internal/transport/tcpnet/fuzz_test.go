@@ -24,6 +24,14 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(append(append([]byte(nil), valid[4:]...), 0xFF))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, fixedHeaderLen+10))
+	// Membership-op adversarial seeds: a lease renewal truncated mid-tag
+	// (the classic short heartbeat write) and a duplicate join — two
+	// complete join bodies back to back, which the strict decoder must
+	// reject as trailing data rather than silently applying the first.
+	lease, _ := marshalFrame(&frame{Op: opLease, Dst: 1, Tag: 3})
+	f.Add(lease[4 : fixedHeaderLen/2])
+	join, _ := marshalFrame(&frame{Op: opJoin, Dst: 2, Name: "127.0.0.1:9042", Tag: 7})
+	f.Add(append(append([]byte(nil), join[4:]...), join[4:]...))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		fr, err := decodeFrame(body)

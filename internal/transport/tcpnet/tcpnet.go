@@ -50,6 +50,13 @@ type Config struct {
 	IOTimeout time.Duration
 	// MaxFrame bounds a frame body (default 64 MiB).
 	MaxFrame int
+	// Incarnation identifies this serving process's lifetime: a replacement
+	// process for the same node must carry a higher value. It is announced
+	// in every handshake response and checked by reconnecting clients, so a
+	// crash-and-restart behind an unchanged address is detected instead of
+	// silently served by a peer with empty state. 0 disables the check (the
+	// loopback and plain-driver configurations).
+	Incarnation uint64
 }
 
 // Backend is a transport.Backend moving operations between simulated
@@ -70,6 +77,15 @@ type Backend struct {
 	addrs       map[cluster.NodeID]string
 	pools       map[cluster.NodeID][]net.Conn
 	serverConns map[net.Conn]bool
+	// peerInc records the last incarnation observed for each peer node
+	// (0 = none yet). A handshake that reports a different incarnation
+	// fails with ErrStaleIncarnation until the membership layer installs
+	// the new identity via SetPeerIncarnation/UpdatePeer.
+	peerInc map[cluster.NodeID]uint64
+
+	// transferHandler, when set, applies an opTransfer payload (a batch of
+	// handed-off lookup entries) and returns the number of entries adopted.
+	transferHandler atomic.Pointer[func([]byte) (int64, error)]
 
 	listeners []net.Listener
 	wg        sync.WaitGroup
@@ -262,6 +278,7 @@ func newBackend(f *transport.Fabric, cfg Config) *Backend {
 		addrs:       make(map[cluster.NodeID]string),
 		pools:       make(map[cluster.NodeID][]net.Conn),
 		serverConns: make(map[net.Conn]bool),
+		peerInc:     make(map[cluster.NodeID]uint64),
 		shutdownCh:  make(chan struct{}),
 	}
 }
@@ -386,7 +403,9 @@ func (b *Backend) dial(node cluster.NodeID) (net.Conn, error) {
 		return nil, fmt.Errorf("tcpnet: no address for node %d", node)
 	}
 	var conn net.Conn
-	retryable := func(err error) bool { return !errors.Is(err, errHandshake) }
+	retryable := func(err error) bool {
+		return !errors.Is(err, errHandshake) && !errors.Is(err, ErrStaleIncarnation)
+	}
 	_, err := retry.Do(b.cfg.Retry, uint64(node)*0x9e3779b97f4a7c15, retryable, nil, func(int) error {
 		raw, err := net.DialTimeout("tcp", addr, b.ioTimeout())
 		if err != nil {
@@ -413,6 +432,7 @@ func (b *Backend) handshake(c net.Conn, node cluster.NodeID) error {
 		c.SetDeadline(time.Now().Add(d))
 		defer c.SetDeadline(time.Time{})
 	}
+	want := b.PeerIncarnation(node)
 	hello := &frame{
 		Op:      opHello,
 		Dst:     int32(node),
@@ -420,6 +440,7 @@ func (b *Backend) handshake(c net.Conn, node cluster.NodeID) error {
 		Version: int64(wireVersion),
 		Bytes:   int64(b.machine.NumNodes()),
 		Bytes2:  int64(b.machine.CoresPerNode()),
+		Span:    want, // the incarnation this client expects (0 = none)
 	}
 	if err := writeFrame(c, hello); err != nil {
 		return err
@@ -430,6 +451,20 @@ func (b *Backend) handshake(c net.Conn, node cluster.NodeID) error {
 	}
 	if resp.Op != opResp || resp.Status != statusOK {
 		return fmt.Errorf("%w: %s", errHandshake, resp.Err)
+	}
+	// The response Tag is the server's incarnation. A peer that restarted
+	// behind the same address answers the handshake happily — but with
+	// empty endpoint state, so silently reusing the route would turn every
+	// staged buffer into a hang. Reject the connection until the
+	// membership layer acknowledges the new incarnation.
+	if resp.Tag != 0 {
+		if want != 0 && resp.Tag != want {
+			return fmt.Errorf("tcpnet: node %d reports incarnation %d, expected %d: %w",
+				node, resp.Tag, want, ErrStaleIncarnation)
+		}
+		b.mu.Lock()
+		b.peerInc[node] = resp.Tag
+		b.mu.Unlock()
 	}
 	return nil
 }
@@ -962,7 +997,9 @@ func (b *Backend) serveConn(c net.Conn) {
 		_ = writeFrame(c, &frame{Op: opResp, Status: statusErr, Err: err.Error()})
 		return
 	}
-	if err := writeFrame(c, &frame{Op: opResp, Status: statusOK}); err != nil {
+	// The acceptance carries this process's incarnation so a reconnecting
+	// client can tell a restarted server from the one it knew.
+	if err := writeFrame(c, &frame{Op: opResp, Status: statusOK, Tag: b.cfg.Incarnation}); err != nil {
 		return
 	}
 	for {
@@ -983,7 +1020,7 @@ func (b *Backend) serveConn(c net.Conn) {
 		if err := writeFrame(c, resp); err != nil {
 			return
 		}
-		if fr.Op == opShutdown {
+		if fr.Op == opShutdown || fr.Op == opDepart {
 			b.shutdownOnce.Do(func() { close(b.shutdownCh) })
 			return
 		}
@@ -1276,7 +1313,36 @@ func (b *Backend) execute(fr *frame) *frame {
 		resp.Payload = buf.Bytes()
 	case opSpans:
 		resp.Payload = b.drainSpans()
-	case opShutdown:
+	case opJoin:
+		// Node fr.Dst is now served at address fr.Name with incarnation
+		// fr.Tag: install the route and identity, dropping any pooled
+		// connections to the node's previous process.
+		if int(fr.Dst) < 0 || int(fr.Dst) >= len(b.owned) {
+			return fail(fmt.Errorf("join for node %d out of range", fr.Dst))
+		}
+		if b.owned[int(fr.Dst)] {
+			return fail(fmt.Errorf("join for node %d, which is served here", fr.Dst))
+		}
+		b.UpdatePeer(cluster.NodeID(fr.Dst), fr.Name, fr.Tag)
+	case opLease:
+		// A lease probe/renewal: succeeds only when the prober's notion of
+		// this process's incarnation is current, so a renewal addressed to a
+		// dead process's identity fails even if a replacement answers.
+		if b.cfg.Incarnation != 0 && fr.Tag != 0 && fr.Tag != b.cfg.Incarnation {
+			return fail(fmt.Errorf("lease for incarnation %d, serving %d", fr.Tag, b.cfg.Incarnation))
+		}
+		resp.Tag = b.cfg.Incarnation
+	case opTransfer:
+		h := b.transferHandler.Load()
+		if h == nil {
+			return fail(fmt.Errorf("no transfer handler installed"))
+		}
+		adopted, err := (*h)(fr.Payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Bytes = adopted
+	case opShutdown, opDepart:
 		// Acknowledged here; serveConn triggers the shutdown channel after
 		// the response is on the wire.
 	default:

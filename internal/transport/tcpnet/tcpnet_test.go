@@ -76,6 +76,16 @@ func sampleFrames() []*frame {
 		// The scatter-gather response header: Bytes announces the segment
 		// count of the raw stream that follows the frame.
 		{Op: opResp, Status: statusOK, Bytes: 2},
+		// Membership ops (wire v4): a join announcement carrying the new
+		// address and incarnation, a lease renewal asserting the granted
+		// incarnation, a graceful departure, an ownership-transfer batch,
+		// and the handshake/lease acceptance echoing the server's
+		// incarnation in Tag.
+		{Op: opJoin, Dst: 2, Name: "127.0.0.1:9042", Tag: 7},
+		{Op: opLease, Dst: 1, Tag: 3},
+		{Op: opDepart, Dst: 0},
+		{Op: opTransfer, Dst: 1, Payload: []byte{0x01, 0x00, 0x07, 'v', 'a', 'r'}},
+		{Op: opResp, Status: statusOK, Tag: 12},
 	}
 }
 

@@ -38,6 +38,10 @@ const (
 	opShutdown
 	opReadMulti // batched scatter-gather read: one frame out, segment stream back
 	opSpans     // drain the node's buffered remote span events (JSON Lines)
+	opJoin      // membership: node Dst now serves at Name with incarnation Tag
+	opLease     // membership: lease probe/renewal against incarnation Tag
+	opDepart    // membership: graceful departure of the serving node
+	opTransfer  // membership: adopt a batch of handed-off lookup entries
 	opMax       // one past the last valid op
 )
 
@@ -59,13 +63,17 @@ const (
 // binaries at the handshake instead of corrupting mid-stream. Version 2
 // added the opReadMulti scatter-gather read and its segment stream;
 // version 3 added the fixed Span trace-context field to every frame
-// header and the opSpans drain. A mismatched peer is rejected at the
-// handshake (there is no per-op fallback — a driver must match its
-// codsnode children), which is a clean fast failure instead of an old
-// server hanging on a frame layout it cannot decode.
+// header and the opSpans drain; version 4 added the membership ops
+// (join/lease/depart/transfer) and the incarnation id carried in the
+// hello exchange (the client's expectation in the request Span field,
+// the server's actual incarnation in the response Tag). A mismatched
+// peer is rejected at the handshake (there is no per-op fallback — a
+// driver must match its codsnode children), which is a clean fast
+// failure instead of an old server hanging on a frame layout it cannot
+// decode.
 const (
 	helloMagic  uint64 = 0x434F44534E455400 // "CODSNET\0"
-	wireVersion uint8  = 3
+	wireVersion uint8  = 4
 )
 
 // maxFrameDefault bounds a frame body (64 MiB) so a corrupted length

@@ -12,12 +12,14 @@ package cods_test
 //	go test -tags conformance_mutations -run TestMutationDetection .
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"github.com/insitu/cods/internal/conformance"
 	"github.com/insitu/cods/internal/decomp"
 	"github.com/insitu/cods/internal/genwf"
+	"github.com/insitu/cods/internal/membership"
 	"github.com/insitu/cods/internal/mutate"
 	"github.com/insitu/cods/internal/sfc"
 )
@@ -160,15 +162,69 @@ func mutationScenario(name string) genwf.Scenario {
 			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
 			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
 		}
+	case mutate.StaleRouteAfterResplit:
+		// Killing node 1 migrates its blocks to node 0, re-splits the
+		// lookup intervals onto the survivor and clears the departed
+		// table. A query path still routing by the pre-resplit intervals
+		// asks the cleared node for the upper half of the index space and
+		// comes back empty-handed — the owner check sees fewer entries
+		// than the model predicts.
+		return genwf.Scenario{
+			Seed: 0x14, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Kill: 2,
+		}
 	default:
 		panic("unknown mutation " + name)
 	}
+}
+
+// detectLeaseExpiryIgnored proves the membership layer catches a sweep
+// that ignores lapsed leases: a joined member that stops renewing must be
+// reported as expired once its TTL passes. The defect makes Sweep report
+// nothing forever, so the reconcile loop would never observe a crash.
+func detectLeaseExpiryIgnored(t *testing.T) {
+	probe := func() error {
+		reg := membership.NewRegistry(time.Second)
+		now := time.Unix(1000, 0)
+		reg.SetClock(func() time.Time { return now })
+		if err := reg.Join(0, "n0:1", 1); err != nil {
+			return err
+		}
+		now = now.Add(time.Hour)
+		if expired := reg.Sweep(); len(expired) != 1 {
+			return fmt.Errorf("sweep reported %v, want the lapsed member", expired)
+		}
+		return nil
+	}
+	if err := probe(); err != nil {
+		t.Fatalf("lease sweep fails even without the mutation: %v", err)
+	}
+	t.Setenv("CODS_MUTATION", mutate.LeaseExpiryIgnored)
+	if !mutate.Enabled(mutate.LeaseExpiryIgnored) {
+		t.Fatal("mutation hooks not compiled in (missing -tags conformance_mutations?)")
+	}
+	err := probe()
+	if err == nil {
+		t.Fatalf("membership suite did not detect seeded defect %q", mutate.LeaseExpiryIgnored)
+	}
+	t.Logf("detected %q: %v", mutate.LeaseExpiryIgnored, err)
 }
 
 func TestMutationDetection(t *testing.T) {
 	for _, name := range mutate.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if name == mutate.LeaseExpiryIgnored {
+				// The lease registry lives outside the scenario pipeline;
+				// its detection drives the membership layer directly.
+				detectLeaseExpiryIgnored(t)
+				return
+			}
 			sc := mutationScenario(name)
 			if err := sc.Validate(); err != nil {
 				t.Fatalf("directed scenario invalid: %v", err)
