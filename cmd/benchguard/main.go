@@ -30,11 +30,13 @@
 // the schedule-predicted clipped bytes (±2% for framing tweaks), one
 // request frame per owning peer, and no whole-block fallback reads.
 //
-// Two further paired gates run on the TCP loopback pull path: the
+// Three further paired gates run on the TCP loopback pull path: the
 // distributed observability plane (registry, wire-mirror counters, span
-// context and remote handler spans) against the -threshold budget, and
-// the elastic membership layer at steady state — lease heartbeats and
-// expiry sweeps running, no topology change — against a tighter 3%.
+// context and remote handler spans) against the -threshold budget, the
+// elastic membership layer at steady state — lease heartbeats and
+// expiry sweeps running, no topology change — against a tighter 3%, and
+// the streaming coupling mode against the classic put/get/discard
+// sequence moving identical bytes, against the default 5%.
 package main
 
 import (
@@ -513,6 +515,173 @@ func elasticGate(reps int) error {
 	return nil
 }
 
+// streamingGate bounds the cost of the streaming coupling mode against
+// the classic put/get/discard sequence it generalizes, on the TCP
+// loopback pull path. Each pair times two batches moving identical bytes
+// through identical placement: n sequential puts, a full-domain get and n
+// explicit discards per version on one side; n publishes, a windowed
+// cursor read and a cursor advance (which retires the version through the
+// same DiscardSequential) on the other. The measured difference is pure
+// stream bookkeeping — watermark and cursor accounting under the stream
+// lock, the per-node mirror notifications, retirement routing — and must
+// stay within the same 5% budget as the instrumentation gates.
+const streamingBudget = 0.05
+
+func streamingGate(reps int) error {
+	const (
+		gateBlocks   = 16
+		gateVersions = 2
+	)
+	nx := 1
+	for nx*nx < gateBlocks {
+		nx *= 2
+	}
+	ny := gateBlocks / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second, Incarnation: 1})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	region := geometry.BoxFromSize([]int{nx * side, ny * side})
+	sp, err := cods.NewSpace(f, region)
+	if err != nil {
+		return err
+	}
+	cores := m.TotalCores()
+	blks := make([]geometry.BBox, 0, gateBlocks)
+	datas := make([][]float64, 0, gateBlocks)
+	handles := make([]*cods.Handle, 0, gateBlocks)
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			blks = append(blks, blk)
+			datas = append(datas, data)
+			handles = append(handles, sp.HandleAt(cluster.CoreID(n%cores), 1, "put"))
+			n++
+		}
+	}
+	consumer := sp.HandleAt(0, 2, "get")
+
+	classic := func(v string) (time.Duration, error) {
+		start := time.Now()
+		for ver := 0; ver < gateVersions; ver++ {
+			for i := range blks {
+				if err := handles[i].PutSequential(v, ver, blks[i], datas[i]); err != nil {
+					return 0, err
+				}
+			}
+			if _, err := consumer.GetSequential(v, ver, region); err != nil {
+				return 0, err
+			}
+			for i := range blks {
+				if err := handles[i].DiscardSequential(v, ver, blks[i]); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+	streamed := func(v string) (time.Duration, error) {
+		// Declaration and subscription are mode setup, paid once per
+		// stream lifetime; the timed section is the steady-state loop.
+		if err := sp.DeclareStream(v, cods.StreamConfig{
+			Producers: gateBlocks, MaxLag: gateVersions, Policy: cods.Backpressure,
+		}); err != nil {
+			return 0, err
+		}
+		cur, err := consumer.Subscribe(v)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for ver := 0; ver < gateVersions; ver++ {
+			for i := range blks {
+				if _, err := handles[i].Publish(v, i, blks[i], datas[i]); err != nil {
+					return 0, err
+				}
+			}
+			if _, err := cur.GetWindow(region, ver, ver); err != nil {
+				return 0, err
+			}
+			if err := cur.Advance(ver + 1); err != nil {
+				return 0, err
+			}
+		}
+		d := time.Since(start)
+		for i := range blks {
+			if err := handles[i].ClosePublisher(v, i); err != nil {
+				return 0, err
+			}
+		}
+		if err := cur.Close(); err != nil {
+			return 0, err
+		}
+		return d, nil
+	}
+
+	// One untimed batch of each warms the sockets and code paths.
+	if _, err := classic("warm-c"); err != nil {
+		return err
+	}
+	if _, err := streamed("warm-s"); err != nil {
+		return err
+	}
+	offs := make([]time.Duration, 0, reps)
+	diffs := make([]time.Duration, 0, reps)
+	slower := 0
+	for i := 0; i < reps; i++ {
+		var dC, dS time.Duration
+		var err error
+		if i%2 == 1 { // odd reps run the streaming batch first
+			dS, err = streamed(fmt.Sprintf("s%d", i))
+			if err == nil {
+				dC, err = classic(fmt.Sprintf("c%d", i))
+			}
+		} else {
+			dC, err = classic(fmt.Sprintf("c%d", i))
+			if err == nil {
+				dS, err = streamed(fmt.Sprintf("s%d", i))
+			}
+		}
+		if err != nil {
+			return err
+		}
+		offs = append(offs, dC)
+		diffs = append(diffs, dS-dC)
+		if dS > dC {
+			slower++
+		}
+	}
+	off := median(offs)
+	overhead := float64(median(diffs)) / float64(off)
+	slowerFrac := float64(slower) / float64(len(diffs))
+	fmt.Printf("tcp stream %d blocks x %d versions: streaming overhead vs put/get %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		gateBlocks, gateVersions, 100*overhead, 100*slowerFrac, 100*streamingBudget)
+	if overhead > streamingBudget && slowerFrac >= signBar {
+		return fmt.Errorf("streaming overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*overhead, 100*streamingBudget, 100*slowerFrac)
+	}
+	return nil
+}
+
 func run(baseline string, reps int, threshold float64) error {
 	sp, consumer, region, err := buildRig()
 	if err != nil {
@@ -592,7 +761,13 @@ func run(baseline string, reps int, threshold float64) error {
 
 	// Guard 6: the elastic membership layer at steady state — leases on,
 	// no topology change.
-	return elasticGate(reps)
+	if err := elasticGate(reps); err != nil {
+		return err
+	}
+
+	// Guard 7: the streaming coupling mode against the classic
+	// put/get/discard sequence, identical bytes and placement.
+	return streamingGate(reps)
 }
 
 func main() {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	cods "github.com/insitu/cods"
 	"github.com/insitu/cods/internal/cluster"
@@ -44,7 +45,9 @@ func main() {
 			"carrying trace context, for the driver to drain into its merged trace")
 		obsHTTP = flag.String("obs-http", "", "serve the metrics registry over HTTP on this address "+
 			"(announced as CODSNODE OBS)")
-		pprof       = flag.Bool("pprof", false, "also serve net/http/pprof handlers on the -obs-http listener")
+		pprof        = flag.Bool("pprof", false, "also serve net/http/pprof handlers on the -obs-http listener")
+		readPatience = flag.Duration("read-patience", 0, "bound on a waiting read's deferred wait; "+
+			"0 waits forever (elastic drivers set a bound so reads that raced a node replacement retry)")
 		incarnation = flag.Uint64("incarnation", 0, "membership incarnation of this serving process "+
 			"(a replacement for a crashed node carries a strictly higher one)")
 	)
@@ -53,7 +56,7 @@ func main() {
 		node: *node, nodes: *nodes, cores: *cores,
 		domainSpec: *domainSpec, listen: *listen, seed: *seed,
 		obs: *obsOn, spans: *spans, obsHTTP: *obsHTTP, pprof: *pprof,
-		incarnation: *incarnation,
+		readPatience: *readPatience, incarnation: *incarnation,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "codsnode: %v\n", err)
 		os.Exit(1)
@@ -68,6 +71,7 @@ type nodeOptions struct {
 	spans              bool
 	obsHTTP            string
 	pprof              bool
+	readPatience       time.Duration
 	incarnation        uint64
 }
 
@@ -91,7 +95,8 @@ func run(o nodeOptions) error {
 		return err
 	}
 	fabric := fw.TransportFabric()
-	be, err := tcpnet.Serve(fabric, cluster.NodeID(o.node), o.listen, tcpnet.Config{Incarnation: o.incarnation})
+	be, err := tcpnet.Serve(fabric, cluster.NodeID(o.node), o.listen,
+		tcpnet.Config{Incarnation: o.incarnation, ReadPatience: o.readPatience})
 	if err != nil {
 		return err
 	}

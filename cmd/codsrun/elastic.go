@@ -76,6 +76,15 @@ func startElastic(fw *cods.Framework, o options, d *cods.DAG, tc *tcpCluster) (*
 			el.varApp[fmt.Sprintf("data.%d", id)] = id
 		}
 	}
+	// With -stream a bundle's head stages its stream versions through the
+	// sequential path; re-staged blocks keep its namespace.
+	if o.stream {
+		for _, b := range d.Bundles {
+			if len(b) > 1 {
+				el.varApp[fmt.Sprintf("data.%d", b[0])] = b[0]
+			}
+		}
+	}
 	// Membership events become trace spans when the run traces at all, so
 	// a crash and its recovery are visible inline with the pulls they
 	// disrupted.
@@ -177,6 +186,12 @@ func (el *elastic) converge(expired []cluster.NodeID) {
 	el.mu.Unlock()
 	for _, node := range expired {
 		el.fw.RestoreNode(int(node))
+	}
+	// Replacements come up with empty stream tables; re-announce every
+	// stream's live watermark, floor and cursor positions so they resume
+	// mid-stream instead of at zero.
+	if n := space.ResyncStreams(); n > 0 {
+		fmt.Printf("membership: resynced %d stream table(s) after replacement\n", n)
 	}
 	fmt.Printf("membership: reconciled %d node(s): re-staged %d blocks (%d B), re-registered %d records\n",
 		len(res.Affected), res.RestagedCount, res.MigratedBytes, res.Reinserted)

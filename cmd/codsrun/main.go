@@ -67,8 +67,13 @@ type options struct {
 	codsnodePath     string
 	elastic          bool
 	leaseTTL         time.Duration
+	readPatience     time.Duration
 	chaosKill        int
 	chaosAfter       int
+	stream           bool
+	streamRounds     int
+	streamLag        int
+	streamPolicy     string
 }
 
 func main() {
@@ -102,10 +107,18 @@ func main() {
 		"holds a heartbeat-renewed lease, and a crashed node is replaced and its staged data re-staged automatically")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", time.Second, "membership lease TTL for -elastic "+
 		"(heartbeats and expiry sweeps run at a quarter of this)")
+	flag.DurationVar(&o.readPatience, "read-patience", 2*time.Second, "with -elastic, bound each codsnode's "+
+		"deferred-read wait so reads that raced a node replacement are retried against the reconciled "+
+		"routing instead of blocking forever (0: wait forever)")
 	flag.IntVar(&o.chaosKill, "chaos-kill", -1, "with -elastic, kill this node's codsnode child once staging is done, "+
 		"to exercise crash recovery under live traffic (-1 disables)")
 	flag.IntVar(&o.chaosAfter, "chaos-after", 0, "with -chaos-kill, fire once the put ledger holds at least this many "+
 		"blocks (0: fire when the ledger stops growing)")
+	flag.BoolVar(&o.stream, "stream", false, "couple multi-application bundles through a bounded-lag version stream "+
+		"(publish/subscribe cursors) instead of lock-step iterations")
+	flag.IntVar(&o.streamRounds, "stream-rounds", 8, "with -stream, versions each producer publishes")
+	flag.IntVar(&o.streamLag, "stream-lag", 2, "with -stream, max versions a consumer may trail the watermark")
+	flag.StringVar(&o.streamPolicy, "stream-policy", "backpressure", "with -stream, lag policy: backpressure or drop-oldest")
 	flag.BoolVar(&o.verbose, "v", false, "print the per-node task placement of every stage")
 	var appSpecs appFlags
 	flag.Var(&appSpecs, "app", "application spec id:kind:grid (repeatable)")
@@ -187,6 +200,17 @@ func run(o options) error {
 		policy = cods.RoundRobin
 	default:
 		return fmt.Errorf("unknown policy %q", o.policyName)
+	}
+	var streamPol cods.StreamPolicy
+	if o.stream {
+		switch o.streamPolicy {
+		case "backpressure":
+			streamPol = cods.Backpressure
+		case "drop-oldest":
+			streamPol = cods.DropOldest
+		default:
+			return fmt.Errorf("unknown stream policy %q (want backpressure or drop-oldest)", o.streamPolicy)
+		}
 	}
 	domain, err := parseInts(o.domainSpec, "x")
 	if err != nil {
@@ -390,6 +414,29 @@ func run(o options) error {
 		bundle := bundleOf[id]
 		spec := cods.AppSpec{ID: id, Decomp: dc}
 		switch {
+		case len(bundle) > 1 && bundle[0] == id && o.stream:
+			v := fmt.Sprintf("data.%d", id)
+			// One producer index per published piece, assigned densely in
+			// rank-major order (apps.StreamProducerIndexBase).
+			producers := 0
+			for r := 0; r < dc.NumTasks(); r++ {
+				producers += len(dc.Region(r))
+			}
+			if err := fw.DeclareStream(v, cods.StreamConfig{
+				Producers: producers, MaxLag: o.streamLag, Policy: streamPol,
+			}); err != nil {
+				return err
+			}
+			spec.Run = apps.NewStreamProducer(apps.StreamProducerConfig{
+				Var: v, Rounds: o.streamRounds, Halo: o.halo,
+			})
+			fmt.Printf("app %d: stream producer (%d tasks, %d indices, %d rounds, lag %d, %s policy, %s)\n",
+				id, dc.NumTasks(), producers, o.streamRounds, o.streamLag, streamPol, dc)
+		case len(bundle) > 1 && o.stream:
+			spec.Run = apps.NewStreamConsumer(apps.StreamConsumerConfig{
+				Var: fmt.Sprintf("data.%d", bundle[0]), Halo: o.halo, Verify: o.verify,
+			})
+			fmt.Printf("app %d: stream consumer of app %d (%d tasks, %s)\n", id, bundle[0], dc.NumTasks(), dc)
 		case len(bundle) > 1 && bundle[0] == id:
 			spec.Run = apps.NewProducer(apps.ProducerConfig{
 				Var: fmt.Sprintf("data.%d", id), Iterations: o.iterations, Halo: o.halo,
@@ -464,6 +511,11 @@ func run(o options) error {
 			printed[pl] = true
 			fmt.Printf("placement (apps sharing app %d's stage):\n%s", id, mapping.Describe(fw.MachineInfo(), pl))
 		}
+	}
+	if o.stream {
+		pub, consumed, dropped := fw.StreamStats()
+		fmt.Printf("stream:         %d versions published, %d consumed, %d dropped (%s policy, lag %d)\n",
+			pub, consumed, dropped, streamPol, o.streamLag)
 	}
 	tr := fw.Traffic()
 	fmt.Printf("coupled data:   %12d B network, %12d B shared memory (%.1f%% in-situ)\n",
@@ -542,6 +594,14 @@ func writeReport(fw *cods.Framework, d *cods.DAG, o options, rep *cods.Report, t
 		cShm, cNet, iShm, iNet := fw.AppTraffic(id)
 		r.SetMeta(fmt.Sprintf("app%d.coupled_bytes", id), fmt.Sprintf("shm=%d network=%d", cShm, cNet))
 		r.SetMeta(fmt.Sprintf("app%d.intra_bytes", id), fmt.Sprintf("shm=%d network=%d", iShm, iNet))
+	}
+	if o.stream {
+		// The registry's stream counters must reconcile against the stream
+		// layer's own per-version accounting.
+		pub, consumed, dropped := fw.StreamStats()
+		r.AddCheck("cods.stream.published", r.Metrics.Counters["cods.stream.published"], pub)
+		r.AddCheck("cods.stream.consumed", r.Metrics.Counters["cods.stream.consumed"], consumed)
+		r.AddCheck("cods.stream.dropped", r.Metrics.Counters["cods.stream.dropped"], dropped)
 	}
 	if tcpBE != nil {
 		// The driver's wire-mirror counters are bumped at the same sites
@@ -656,6 +716,11 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpCluster, 
 		if o.pprof {
 			args = append(args, "-pprof")
 		}
+	}
+	// Replacements mean a read can land on a process that never receives
+	// the buffer; bounded patience turns that from a hang into a retry.
+	if o.elastic && o.readPatience > 0 {
+		args = append(args, "-read-patience", o.readPatience.String())
 	}
 	tc := &tcpCluster{bin: bin, args: args,
 		children: make(map[int]*exec.Cmd), addrs: make(map[int]string)}

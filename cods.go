@@ -102,6 +102,15 @@ type (
 	PullError = icods.PullError
 	// TaskError reports a computation task that failed all its attempts.
 	TaskError = runtime.TaskError
+	// StreamConfig declares a stream's shape: producer rank count, lag
+	// bound and the policy applied when the bound would be exceeded.
+	StreamConfig = icods.StreamConfig
+	// StreamPolicy selects what happens when a consumer falls more than
+	// MaxLag versions behind the watermark.
+	StreamPolicy = icods.StreamPolicy
+	// Cursor is one consumer's subscription to a stream, returned by
+	// AppContext.Space.Subscribe.
+	Cursor = icods.Cursor
 )
 
 // Transport error sentinels, for errors.Is against failures surfacing from
@@ -112,6 +121,19 @@ var (
 	// ErrEndpointClosed marks operations against a closed endpoint; the
 	// retry layers treat it as terminal.
 	ErrEndpointClosed = transport.ErrEndpointClosed
+	// ErrStreamEnded marks operations against a stream whose producers
+	// have all closed.
+	ErrStreamEnded = icods.ErrStreamEnded
+)
+
+// Stream lag policies.
+const (
+	// Backpressure blocks a producer while the slowest cursor is MaxLag
+	// versions behind.
+	Backpressure = icods.Backpressure
+	// DropOldest keeps the producer running and force-retires versions
+	// older than MaxLag behind the watermark, bumping lagging cursors.
+	DropOldest = icods.DropOldest
 )
 
 // DefaultRetryPolicy is the policy the command-line tools install when
@@ -387,6 +409,27 @@ func (f *Framework) TransportFabric() *transport.Fabric { return f.server.Fabric
 // (SetPutRecorder), schedule invalidation after a topology change
 // (InvalidateAll), and lookup re-registration through Lookup.
 func (f *Framework) SharedSpace() *icods.Space { return f.server.Space() }
+
+// DeclareStream registers a streaming coupling variable (DESIGN §5i). It
+// must be called once before the workflow runs, with the stream's full
+// producer count — one index per published piece; see
+// apps.StreamProducerIndexBase for the dense rank-major assignment.
+func (f *Framework) DeclareStream(v string, cfg StreamConfig) error {
+	return f.server.Space().DeclareStream(v, cfg)
+}
+
+// StreamStats sums the streaming accounting over every declared stream:
+// versions published, versions acknowledged by cursors, versions dropped
+// past lagging cursors.
+func (f *Framework) StreamStats() (published, consumed, dropped int64) {
+	return f.server.Space().StreamStats()
+}
+
+// StreamState reports stream v's complete watermark and lowest retained
+// version.
+func (f *Framework) StreamState(v string) (latest, floor int, err error) {
+	return f.server.Space().StreamState(v)
+}
 
 // RetireNode withdraws a crashed node's execution clients from the task
 // remap spare pool, so retried tasks only land on surviving cores while

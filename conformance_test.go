@@ -91,6 +91,25 @@ func TestConformanceElastic(t *testing.T) {
 	}
 }
 
+// TestConformanceStreaming is the sweep over streaming-coupling
+// scenarios (DESIGN §5i): producers publish a bounded-lag stream of
+// versions and consumers follow through cursors, under both lag policies
+// — backpressure runs race producer and consumer goroutines, drop-oldest
+// runs go lock-step with deterministic forced retirements, consume
+// strides, mid-stream resubscribes and mid-stream kills. Every scenario
+// runs on both backends and must produce byte-identical windowed gets
+// against the versioned stream reference model, with retired versions
+// verifiably gone from the DHT and all accounting invariants intact.
+func TestConformanceStreaming(t *testing.T) {
+	n := conformanceSeeds(t, 16)
+	for seed := uint64(1); seed <= n; seed++ {
+		sc := genwf.GenerateStreaming(3000 + seed)
+		if err := conformance.RunCross(sc); err != nil {
+			reportShrunkCross(t, sc, err)
+		}
+	}
+}
+
 // reportShrunk shrinks a failing scenario and fails the test with the
 // minimal reproduction: the original error, the runnable Go literal and
 // the .dag-style repro.

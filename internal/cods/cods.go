@@ -198,6 +198,11 @@ type Space struct {
 	// membership layer's ledger — the source the reconcile loop re-stages
 	// from when an owner crashes without a graceful handoff).
 	putRecorder atomic.Pointer[PutRecorder]
+
+	// Streaming coupling state (stream.go): one stream per declared
+	// variable, created lazily by DeclareStream.
+	streamMu sync.Mutex
+	streams  map[string]*stream
 }
 
 // PutRecorder observes sequentially staged blocks as they are stored and
@@ -584,16 +589,27 @@ func (h *Handle) PutSequential(v string, version int, region geometry.BBox, data
 		return err
 	}
 	obj := &StoredObject{Region: region.Clone(), Data: data}
+	// Record the block BEFORE exposing it: an expose can be acknowledged
+	// by a process that dies immediately after, and a reconcile that runs
+	// later must find the block in its ledger snapshot to re-stage it. The
+	// doomed process died before the reconcile observed its loss, so any
+	// expose it acknowledged — and therefore this record — happens-before
+	// the snapshot. Recording after the expose leaves a window where the
+	// lookup registration lands post-reconcile and the data is gone for
+	// good.
+	if r := h.sp.putRecorder.Load(); r != nil {
+		(*r).RecordPut(v, version, region, h.core, data)
+	}
 	if err := h.endpoint().Expose(bufKey(v, region, version), obj); err != nil {
+		if r := h.sp.putRecorder.Load(); r != nil {
+			(*r).RecordDiscard(v, version, region, h.core)
+		}
 		h.sp.release(h.core, region.Volume()*ElemSize)
 		return err
 	}
 	cl := h.lookupClient()
 	if err := cl.Insert(h.phase, h.app, dht.Entry{Var: v, Version: version, Region: region, Owner: h.core}); err != nil {
 		return err
-	}
-	if r := h.sp.putRecorder.Load(); r != nil {
-		(*r).RecordPut(v, version, region, h.core, data)
 	}
 	return nil
 }

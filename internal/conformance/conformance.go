@@ -159,7 +159,9 @@ func run(sc genwf.Scenario, opts Options) error {
 	model := refmodel.New(sc.DomainBox())
 	pred := newPredictor(machine)
 
-	if sc.Sequential {
+	if sc.Stream {
+		err = runStreaming(sc, opts, machine, space, prodApp, consApp, model, pred)
+	} else if sc.Sequential {
 		err = runSequential(sc, opts, machine, space, prodApp, consApp, model, pred)
 	} else {
 		err = runConcurrent(sc, opts, machine, space, prodApp, consApp, model, pred)

@@ -74,7 +74,10 @@ func RunCrossOpts(sc genwf.Scenario, opts Options) error {
 // compareRuns diffs the two backends' stats. Get digests and inter-app
 // bytes must always match; the full per-medium totals (which include
 // control traffic) are compared only for fault-free scenarios, where the
-// retry layer cannot legitimately vary the op count between runs.
+// retry layer cannot legitimately vary the op count between runs, and not
+// for backpressure streaming runs, where the racing garbage collection
+// invalidates schedules at interleaving-dependent points and the requery
+// count legitimately differs between runs.
 func compareRuns(sc genwf.Scenario, ref, tcp *RunStats) error {
 	if len(ref.Gets) != len(tcp.Gets) {
 		return fmt.Errorf("conformance: backends disagree on get count: inproc %d, tcp %d\n%s",
@@ -95,7 +98,7 @@ func compareRuns(sc genwf.Scenario, ref, tcp *RunStats) error {
 			return fmt.Errorf("conformance: inter-app %s bytes differ across backends: inproc %d, tcp %d\n%s",
 				name, ref.InterApp[md], tcp.InterApp[md], sc.GoLiteral())
 		}
-		if sc.Faults == "" && ref.MediumBytes[md] != tcp.MediumBytes[md] {
+		if sc.Faults == "" && !(sc.Stream && !sc.Drop) && ref.MediumBytes[md] != tcp.MediumBytes[md] {
 			return fmt.Errorf("conformance: metered %s bytes differ across backends: inproc %d, tcp %d\n%s",
 				name, ref.MediumBytes[md], tcp.MediumBytes[md], sc.GoLiteral())
 		}

@@ -89,64 +89,8 @@ func checkOwners(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
 func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
 	pred *predictor, consumers []*consumer, prodPl, consPl *cluster.Placement,
 	prodApp, consApp graph.App) error {
-	mx := machine.Metrics()
-
-	// 1. Metered inter-application bytes equal the model-computed
-	// intersection volumes, partitioned by medium per the placements.
-	for _, md := range []cluster.Medium{cluster.SharedMemory, cluster.Network} {
-		if got, want := mx.Bytes(cluster.InterApp, md), pred.perMedium[md]; got != want {
-			return fmt.Errorf("conformance: inter-app %s bytes = %d, model predicts %d\n%s",
-				md, got, want, sc.GoLiteral())
-		}
-		// 2. The fabric's independent medium counters reconcile with the
-		// per-class metrics.
-		sum := mx.Bytes(cluster.InterApp, md) + mx.Bytes(cluster.IntraApp, md) + mx.Bytes(cluster.Control, md)
-		if got := space.Fabric().MediumBytes(md); got != sum {
-			return fmt.Errorf("conformance: fabric %s bytes = %d, metrics classes sum to %d\n%s",
-				md, got, sum, sc.GoLiteral())
-		}
-		// 3. A two-application coupling generates no intra-app traffic.
-		if got := mx.Bytes(cluster.IntraApp, md); got != 0 {
-			return fmt.Errorf("conformance: unexpected intra-app %s bytes = %d\n%s", md, got, sc.GoLiteral())
-		}
-	}
-
-	// 4. The per-(source node, destination node) flow aggregation matches
-	// the model prediction exactly — this is what catches swapped flow
-	// endpoints that leave symmetric totals unchanged.
-	got := make(map[flowKey]int64)
-	for _, f := range mx.Flows("") {
-		if f.Class != cluster.InterApp.String() {
-			continue
-		}
-		got[flowKey{src: f.Src, dst: f.Dst}] += f.Bytes
-		wantMd := cluster.Network.String()
-		if f.Src == f.Dst {
-			wantMd = cluster.SharedMemory.String()
-		}
-		if f.Medium != wantMd {
-			return fmt.Errorf("conformance: flow %d->%d tagged %q, want %q\n%s",
-				f.Src, f.Dst, f.Medium, wantMd, sc.GoLiteral())
-		}
-	}
-	if err := compareFlowMaps(got, pred.flows); err != nil {
-		return fmt.Errorf("%w\n%s", err, sc.GoLiteral())
-	}
-
-	// 4b. The observability plane's flow matrix is a pure regrouping of
-	// the same flow log, so folding its inter-app cells back to (src, dst)
-	// must reproduce the model prediction too. This pins attribution in
-	// the aggregation itself: a cell credited to the wrong node keeps
-	// every total intact and is invisible to checks 1-4.
-	obsGot := make(map[flowKey]int64)
-	for _, c := range obs.BuildFlowMatrix(mx.Flows("")).Cells {
-		if c.Class != cluster.InterApp.String() {
-			continue
-		}
-		obsGot[flowKey{src: cluster.NodeID(c.Src), dst: cluster.NodeID(c.Dst)}] += c.Bytes
-	}
-	if err := compareFlowMaps(obsGot, pred.flows); err != nil {
-		return fmt.Errorf("obs flow matrix: %w\n%s", err, sc.GoLiteral())
+	if err := checkFlowAccounting(sc, machine, space, pred); err != nil {
+		return err
 	}
 
 	// 5. The static coupled-traffic analysis agrees with the measured
@@ -209,6 +153,75 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 	if misses != wantMisses && (sc.Faults == "" || misses < wantMisses) {
 		return fmt.Errorf("conformance: schedule cache misses = %d, want %d\n%s",
 			misses, wantMisses, sc.GoLiteral())
+	}
+	return nil
+}
+
+// checkFlowAccounting runs the placement-independent traffic checks
+// (invariants 1-4b), shared by the lock-step rounds and the streaming
+// runner: metered inter-app bytes against the model prediction, fabric
+// counter reconciliation, intra-app silence, and the per-(src, dst) flow
+// aggregation in both the metrics plane and the obs flow matrix.
+func checkFlowAccounting(sc genwf.Scenario, machine *cluster.Machine, space *cods.Space,
+	pred *predictor) error {
+	mx := machine.Metrics()
+
+	// 1. Metered inter-application bytes equal the model-computed
+	// intersection volumes, partitioned by medium per the placements.
+	for _, md := range []cluster.Medium{cluster.SharedMemory, cluster.Network} {
+		if got, want := mx.Bytes(cluster.InterApp, md), pred.perMedium[md]; got != want {
+			return fmt.Errorf("conformance: inter-app %s bytes = %d, model predicts %d\n%s",
+				md, got, want, sc.GoLiteral())
+		}
+		// 2. The fabric's independent medium counters reconcile with the
+		// per-class metrics.
+		sum := mx.Bytes(cluster.InterApp, md) + mx.Bytes(cluster.IntraApp, md) + mx.Bytes(cluster.Control, md)
+		if got := space.Fabric().MediumBytes(md); got != sum {
+			return fmt.Errorf("conformance: fabric %s bytes = %d, metrics classes sum to %d\n%s",
+				md, got, sum, sc.GoLiteral())
+		}
+		// 3. A two-application coupling generates no intra-app traffic.
+		if got := mx.Bytes(cluster.IntraApp, md); got != 0 {
+			return fmt.Errorf("conformance: unexpected intra-app %s bytes = %d\n%s", md, got, sc.GoLiteral())
+		}
+	}
+
+	// 4. The per-(source node, destination node) flow aggregation matches
+	// the model prediction exactly — this is what catches swapped flow
+	// endpoints that leave symmetric totals unchanged.
+	got := make(map[flowKey]int64)
+	for _, f := range mx.Flows("") {
+		if f.Class != cluster.InterApp.String() {
+			continue
+		}
+		got[flowKey{src: f.Src, dst: f.Dst}] += f.Bytes
+		wantMd := cluster.Network.String()
+		if f.Src == f.Dst {
+			wantMd = cluster.SharedMemory.String()
+		}
+		if f.Medium != wantMd {
+			return fmt.Errorf("conformance: flow %d->%d tagged %q, want %q\n%s",
+				f.Src, f.Dst, f.Medium, wantMd, sc.GoLiteral())
+		}
+	}
+	if err := compareFlowMaps(got, pred.flows); err != nil {
+		return fmt.Errorf("%w\n%s", err, sc.GoLiteral())
+	}
+
+	// 4b. The observability plane's flow matrix is a pure regrouping of
+	// the same flow log, so folding its inter-app cells back to (src, dst)
+	// must reproduce the model prediction too. This pins attribution in
+	// the aggregation itself: a cell credited to the wrong node keeps
+	// every total intact and is invisible to checks 1-4.
+	obsGot := make(map[flowKey]int64)
+	for _, c := range obs.BuildFlowMatrix(mx.Flows("")).Cells {
+		if c.Class != cluster.InterApp.String() {
+			continue
+		}
+		obsGot[flowKey{src: cluster.NodeID(c.Src), dst: cluster.NodeID(c.Dst)}] += c.Bytes
+	}
+	if err := compareFlowMaps(obsGot, pred.flows); err != nil {
+		return fmt.Errorf("obs flow matrix: %w\n%s", err, sc.GoLiteral())
 	}
 	return nil
 }

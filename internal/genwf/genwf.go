@@ -130,6 +130,33 @@ type Scenario struct {
 	// Retry is the retry MaxAttempts for transfers and control RPCs
 	// (0 = no retry policy installed).
 	Retry int
+
+	// Stream turns a sequential single-version scenario into a streaming
+	// coupling run (GenerateStreaming): the producers publish Rounds
+	// versions of the stream variable and the consumers follow through
+	// bounded-lag cursors instead of lock-step gets. Drop selects the
+	// drop-oldest policy (false = backpressure, run with concurrent
+	// producer/consumer goroutines; drop-oldest runs lock-step so the
+	// forced retirements are deterministic).
+	Stream bool
+	Drop   bool
+
+	// Rounds is the number of versions each producer rank publishes, and
+	// MaxLag the stream's lag bound.
+	Rounds int
+	MaxLag int
+
+	// ConsumeEvery is the consumers' acknowledgment stride in a drop-oldest
+	// run: cursors read and advance only after every k-th published round,
+	// letting versions pile up past MaxLag to force deterministic drops
+	// (1 = keep up; >1 requires Drop, since a lock-step backpressure
+	// producer would block forever on its lagging consumers).
+	ConsumeEvery int
+
+	// Resub, when nonzero, closes every cursor after round Resub (1-based)
+	// of a drop-oldest run and resubscribes it from its last position —
+	// exercising the SubscribeFrom resume path mid-stream.
+	Resub int
 }
 
 // DomainBox returns the scenario domain as a box anchored at the origin.
@@ -256,6 +283,37 @@ func (sc Scenario) Validate() error {
 	if sc.Faults != "" && sc.Retry < 2 {
 		return fmt.Errorf("genwf: fault plan without a retry budget")
 	}
+	if sc.Stream {
+		if !sc.Sequential || sc.Versions != 1 {
+			return fmt.Errorf("genwf: streaming requires sequential single-version coupling")
+		}
+		if sc.Vars != 1 {
+			return fmt.Errorf("genwf: streaming couples one stream variable")
+		}
+		if sc.Restage || sc.Rejoin {
+			return fmt.Errorf("genwf: streaming excludes restage/rejoin")
+		}
+		if sc.Mapping != Consecutive && sc.Mapping != RoundRobin {
+			return fmt.Errorf("genwf: streaming consumers subscribe before data exists; data-centric mapping undefined")
+		}
+		if sc.Rounds < 1 || sc.MaxLag < 1 {
+			return fmt.Errorf("genwf: streaming rounds=%d maxlag=%d", sc.Rounds, sc.MaxLag)
+		}
+		if sc.ConsumeEvery < 1 {
+			return fmt.Errorf("genwf: consume-every = %d", sc.ConsumeEvery)
+		}
+		if sc.ConsumeEvery > 1 && !sc.Drop {
+			return fmt.Errorf("genwf: a lagging lock-step consumer deadlocks a backpressure producer; stride needs drop-oldest")
+		}
+		if sc.Resub != 0 && (!sc.Drop || sc.Resub < 1 || sc.Resub >= sc.Rounds) {
+			return fmt.Errorf("genwf: resub = %d needs drop-oldest and 1 <= resub < rounds", sc.Resub)
+		}
+		if sc.Kill != 0 && !sc.Drop {
+			return fmt.Errorf("genwf: mid-stream kill runs lock-step (drop-oldest) only")
+		}
+	} else if sc.Drop || sc.Rounds != 0 || sc.MaxLag != 0 || sc.ConsumeEvery != 0 || sc.Resub != 0 {
+		return fmt.Errorf("genwf: streaming fields set without Stream")
+	}
 	return nil
 }
 
@@ -298,6 +356,58 @@ func Generate(seed uint64) Scenario {
 		ConsKind: decomp.Blocked, ConsGrid: []int{2},
 		Vars: 1, Versions: 1, Mapping: Consecutive, Staged: true,
 		SpanCache: sfc.DefaultSpanCacheCapacity,
+	}
+}
+
+// GenerateStreaming derives a valid streaming scenario from a seed: a
+// sequential coupling whose producers publish a bounded-lag stream of
+// versions instead of lock-step iterations. Like Generate the derivation
+// is pure, and the two generators draw from distinct sequences so the
+// existing sweep seeds keep their scenarios.
+func GenerateStreaming(seed uint64) Scenario {
+	r := &rng{s: seed ^ 0x57bea315c0d5f10d}
+	for attempt := 0; attempt < 100; attempt++ {
+		sc := generate(r, seed)
+		streamize(r, &sc)
+		if sc.Validate() == nil {
+			return sc
+		}
+	}
+	// Pathological seed: the smallest interesting streaming scenario.
+	return Scenario{
+		Seed: seed, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+		ProdKind: decomp.Blocked, ProdGrid: []int{2},
+		ConsKind: decomp.Blocked, ConsGrid: []int{2},
+		Vars: 1, Versions: 1, Mapping: Consecutive, Sequential: true,
+		SpanCache: sfc.DefaultSpanCacheCapacity,
+		Stream:    true, Rounds: 3, MaxLag: 2, ConsumeEvery: 1,
+	}
+}
+
+// streamize forces a candidate into streaming shape: sequential
+// single-version coupling of one variable, plus the stream dimensions
+// (rounds, lag bound, policy, consume stride, mid-stream resubscribe).
+func streamize(r *rng, sc *Scenario) {
+	sc.Stream = true
+	sc.Sequential = true
+	sc.Versions = 1
+	sc.Vars = 1
+	sc.Restage = false
+	sc.Rejoin = false
+	if sc.Mapping != Consecutive && sc.Mapping != RoundRobin {
+		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin)))
+	}
+	sc.Rounds = 2 + r.intn(5)
+	sc.MaxLag = 1 + r.intn(3)
+	sc.Drop = r.intn(2) == 0
+	sc.ConsumeEvery = 1
+	if sc.Drop {
+		sc.ConsumeEvery = r.pick(1, 1, 2, 3)
+		if sc.Rounds >= 3 && r.intn(3) == 0 {
+			sc.Resub = 1 + r.intn(sc.Rounds-1)
+		}
+	} else if sc.Kill != 0 {
+		sc.Kill = 0 // mid-stream kill runs lock-step (drop-oldest) only
 	}
 }
 
@@ -456,6 +566,10 @@ func (sc Scenario) GoLiteral() string {
 	if sc.Kill != 0 {
 		fmt.Fprintf(&b, "\tKill: %d, Rejoin: %v,\n", sc.Kill, sc.Rejoin)
 	}
+	if sc.Stream {
+		fmt.Fprintf(&b, "\tStream: true, Drop: %v, Rounds: %d, MaxLag: %d, ConsumeEvery: %d, Resub: %d,\n",
+			sc.Drop, sc.Rounds, sc.MaxLag, sc.ConsumeEvery, sc.Resub)
+	}
 	fmt.Fprintf(&b, "\tFaults: %q, Retry: %d,\n", sc.Faults, sc.Retry)
 	fmt.Fprintf(&b, "}")
 	return b.String()
@@ -475,13 +589,23 @@ func (sc Scenario) DAG() string {
 	if sc.Kill != 0 {
 		fmt.Fprintf(&b, "# elastic: kill node %d after round 0, rejoin=%v\n", sc.Kill-1, sc.Rejoin)
 	}
+	if sc.Stream {
+		policy := "backpressure"
+		if sc.Drop {
+			policy = "drop-oldest"
+		}
+		fmt.Fprintf(&b, "# stream: rounds=%d maxlag=%d policy=%s consume-every=%d resub=%d\n",
+			sc.Rounds, sc.MaxLag, policy, sc.ConsumeEvery, sc.Resub)
+	}
 	if sc.Faults != "" {
 		fmt.Fprintf(&b, "# faults: %s (retry %d)\n", sc.Faults, sc.Retry)
 	}
 	fmt.Fprintf(&b, "APP_ID 1\nAPP_ID 2\n")
-	if sc.Sequential {
+	if sc.Sequential && !sc.Stream {
 		fmt.Fprintf(&b, "PARENT_APPID 1 CHILD_APPID 2\n")
 	} else {
+		// Concurrent bundle — streaming producers and consumers run as one
+		// group, coupled through cursors instead of the DAG edge.
 		fmt.Fprintf(&b, "BUNDLE 1 2\n")
 	}
 	return b.String()

@@ -51,6 +51,30 @@ func candidates(sc Scenario) []Scenario {
 	if sc.Restage {
 		add(func(c *Scenario) { c.Restage = false })
 	}
+	if sc.Resub != 0 {
+		add(func(c *Scenario) { c.Resub = 0 })
+	}
+	if sc.ConsumeEvery > 1 {
+		add(func(c *Scenario) { c.ConsumeEvery = 1 })
+	}
+	if sc.Stream && sc.Drop {
+		// Backpressure is the simpler policy, but stride/resub/kill depend
+		// on drop-oldest; drop those with it.
+		add(func(c *Scenario) { c.Drop, c.ConsumeEvery, c.Resub, c.Kill = false, 1, 0, 0 })
+	}
+	if sc.Stream && sc.Rounds > 1 {
+		add(func(c *Scenario) { c.Rounds, c.Resub = 1, 0 })
+		add(func(c *Scenario) {
+			c.Rounds--
+			if c.Resub >= c.Rounds {
+				c.Resub = 0
+			}
+		})
+	}
+	if sc.Stream && sc.MaxLag > 1 {
+		add(func(c *Scenario) { c.MaxLag = 1 })
+		add(func(c *Scenario) { c.MaxLag-- })
+	}
 	if sc.Rejoin {
 		add(func(c *Scenario) { c.Rejoin = false })
 	}

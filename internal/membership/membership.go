@@ -432,9 +432,14 @@ func (rc *Reconciler) Reconcile(affected []cluster.NodeID) (Result, error) {
 
 // Monitor renews every alive member's lease on a fixed interval by
 // probing the serving process (Backend.ProbeLease under the TCP backend).
-// A probe failure is not an error — the lease simply is not renewed, and
-// expiry surfaces the crash on the next Sweep. The steady-state overhead
-// of a running monitor is what benchguard's elastic gate bounds.
+// Members are probed concurrently — a stalled probe to one node must not
+// starve another node's renewal past its TTL — and a failed probe is
+// re-tried briefly within the pass before the renewal is given up, so a
+// transient dial failure during a neighbor's replacement does not eat a
+// healthy lease. A probe that fails every attempt is still not an error —
+// the lease simply is not renewed, and expiry surfaces the crash on the
+// next Sweep. The steady-state overhead of a running monitor is what
+// benchguard's elastic gate bounds.
 type Monitor struct {
 	reg      *Registry
 	interval time.Duration
@@ -474,16 +479,33 @@ func (mo *Monitor) Start() {
 	}()
 }
 
+// probeAttempts is how many times one renewal pass tries a member's probe
+// before giving up on that pass; retries are spaced a fraction of the
+// renewal interval apart so a full pass stays within one interval.
+const probeAttempts = 3
+
 func (mo *Monitor) renewAll() {
+	var wg sync.WaitGroup
 	for _, m := range mo.reg.Members() {
 		if m.State != Alive.String() {
 			continue
 		}
-		if err := mo.probe(m.Node, m.Incarnation); err != nil {
-			continue // not renewed; expiry will surface it
-		}
-		_ = mo.reg.Renew(m.Node, m.Incarnation)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 1; ; attempt++ {
+				if err := mo.probe(m.Node, m.Incarnation); err == nil {
+					_ = mo.reg.Renew(m.Node, m.Incarnation)
+					return
+				}
+				if attempt >= probeAttempts {
+					return // not renewed; expiry will surface it
+				}
+				time.Sleep(mo.interval / 4)
+			}
+		}()
 	}
+	wg.Wait()
 }
 
 // Stop halts the renewal loop and waits for it to exit. Idempotent.

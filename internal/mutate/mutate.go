@@ -63,11 +63,25 @@ const (
 	// every lease as live, so a crashed node that stopped renewing is never
 	// marked expired and the reconcile loop never converges around it.
 	LeaseExpiryIgnored = "lease-expiry-ignored"
+	// StaleWatermarkServed makes a stream's GetLatest serve the version one
+	// behind the complete watermark whenever an older version is still
+	// retained — the consumer silently reads stale data inside the lag
+	// window instead of the freshest complete version.
+	StaleWatermarkServed = "stale-watermark-served"
+	// GCBeforeConsume widens the drop-oldest retirement bound by one, so a
+	// version the lag bound still entitles consumers to read is retired
+	// (and its blocks discarded) before every cursor has passed it.
+	GCBeforeConsume = "gc-before-consume"
+	// VersionSkipOnResubscribe starts a resubscribing cursor one version
+	// past the position it asked for, so the first unconsumed version is
+	// silently skipped across a Close/SubscribeFrom boundary.
+	VersionSkipOnResubscribe = "version-skip-on-resubscribe"
 )
 
 // Names lists every seeded defect, in a stable order.
 func Names() []string {
 	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
 		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder, ObsFlowMisattribute,
-		StaleRouteAfterResplit, LeaseExpiryIgnored}
+		StaleRouteAfterResplit, LeaseExpiryIgnored,
+		StaleWatermarkServed, GCBeforeConsume, VersionSkipOnResubscribe}
 }

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"github.com/insitu/cods/internal/cluster"
 	"github.com/insitu/cods/internal/geometry"
@@ -240,6 +241,48 @@ func (f *Fabric) LocalRead(reader, owner cluster.CoreID, key BufKey, m Meter, n 
 	}
 }
 
+// LocalReadDeadline is LocalRead with a bounded deferred wait: when the
+// buffer is not exposed within patience the read fails with
+// ErrReadPatience instead of blocking indefinitely. Zero patience is the
+// plain waiting LocalRead. Serving processes that can be replaced mid-run
+// use the bounded form — a read routed to a process that will never
+// receive the buffer (staged before the replacement, re-staged elsewhere)
+// must surface a retryable error rather than hold the exchange open
+// forever while the reader's retry layer sees no failure.
+func (f *Fabric) LocalReadDeadline(reader, owner cluster.CoreID, key BufKey, m Meter, n int64, patience time.Duration) (any, bool, error) {
+	if patience <= 0 {
+		return f.LocalRead(reader, owner, key, m, n, true)
+	}
+	oe := f.endpoints[int(owner)]
+	expired := false
+	timer := time.AfterFunc(patience, func() {
+		oe.exportMu.Lock()
+		expired = true
+		oe.exportMu.Unlock()
+		oe.exportCond.Broadcast()
+	})
+	defer timer.Stop()
+	oe.exportMu.Lock()
+	for {
+		if oe.exportClosed {
+			oe.exportMu.Unlock()
+			return nil, false, fmt.Errorf("transport: reading %v from endpoint %d: %w", key, owner, ErrEndpointClosed)
+		}
+		if e, ok := oe.exports[key]; ok {
+			payload := e.payload
+			oe.exportMu.Unlock()
+			f.sleepReadLatency(f.medium(owner, reader))
+			f.record(m, owner, reader, n)
+			return payload, true, nil
+		}
+		if expired {
+			oe.exportMu.Unlock()
+			return nil, false, fmt.Errorf("transport: reading %v from endpoint %d after %s: %w", key, owner, patience, ErrReadPatience)
+		}
+		oe.exportCond.Wait()
+	}
+}
+
 // LocalCall is the executing side of Call against a dst endpoint in this
 // process. The handler runs in its own goroutine so that closing the
 // serving endpoint mid-call unblocks the caller with ErrEndpointClosed
@@ -408,4 +451,53 @@ func DecodePayload(data []byte) (any, error) {
 		return nil, fmt.Errorf("transport: decoding payload: %w", err)
 	}
 	return v, nil
+}
+
+// StreamBackend is the optional interface a network backend implements to
+// mirror streaming control state onto owning nodes (wire v5): publish
+// notifications carrying the new complete watermark, cursor advances, and
+// version retirements. Every op is incarnation-fenced like a lease probe,
+// so a node that was replaced cannot acknowledge stream state addressed to
+// its successor; the publish and advance responses return the node's
+// recorded watermark so an elastic replacement resumes streams from live
+// positions. The in-process fabric has no remote stream tables, so the
+// passthroughs below degrade to no-ops when the backend does not
+// implement the interface.
+type StreamBackend interface {
+	// StreamPublish records watermark version of stream v on node and
+	// returns the node's resulting recorded watermark.
+	StreamPublish(node cluster.NodeID, v string, version int64) (int64, error)
+	// StreamAdvance records consumer's cursor position on node and
+	// returns the node's recorded watermark.
+	StreamAdvance(node cluster.NodeID, v string, consumer, pos int64) (int64, error)
+	// StreamRetire raises the retained floor of stream v on node:
+	// versions below are retired.
+	StreamRetire(node cluster.NodeID, v string, below int64) error
+}
+
+// StreamPublish forwards a watermark advance of stream v to node's stream
+// table when the backend maintains one; otherwise the version is echoed.
+func (f *Fabric) StreamPublish(node cluster.NodeID, v string, version int64) (int64, error) {
+	if sb, ok := f.backend.(StreamBackend); ok {
+		return sb.StreamPublish(node, v, version)
+	}
+	return version, nil
+}
+
+// StreamAdvance forwards a cursor advance to node's stream table when the
+// backend maintains one; otherwise the position is echoed.
+func (f *Fabric) StreamAdvance(node cluster.NodeID, v string, consumer, pos int64) (int64, error) {
+	if sb, ok := f.backend.(StreamBackend); ok {
+		return sb.StreamAdvance(node, v, consumer, pos)
+	}
+	return pos, nil
+}
+
+// StreamRetire forwards a floor advance to node's stream table when the
+// backend maintains one.
+func (f *Fabric) StreamRetire(node cluster.NodeID, v string, below int64) error {
+	if sb, ok := f.backend.(StreamBackend); ok {
+		return sb.StreamRetire(node, v, below)
+	}
+	return nil
 }

@@ -1,0 +1,132 @@
+package tcpnet
+
+import (
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/transport"
+)
+
+// Streaming control ops (wire v5). The driver's stream layer is the
+// authority on watermarks, cursor positions and retained floors; these ops
+// mirror that state into each owning node's stream table so an elastic
+// replacement resumes streams at the live positions instead of zero. Every
+// op carries the driver's notion of the target's incarnation in the Tag
+// field and is fenced exactly like a lease probe: a stale process cannot
+// acknowledge stream state addressed to its successor.
+
+// nodeStream is one stream's node-local mirror: the highest complete
+// watermark announced, the retained floor, and the last announced position
+// of each cursor. Guarded by Backend.streamMu.
+type nodeStream struct {
+	latest  int64
+	floor   int64
+	cursors map[int64]int64
+}
+
+// streamFor returns (creating on first use) the node-local table of
+// stream v. Callers hold b.streamMu.
+func (b *Backend) streamFor(v string) *nodeStream {
+	if b.streams == nil {
+		b.streams = make(map[string]*nodeStream)
+	}
+	s := b.streams[v]
+	if s == nil {
+		s = &nodeStream{latest: -1, cursors: make(map[int64]int64)}
+		b.streams[v] = s
+	}
+	return s
+}
+
+// streamPublishLocal records a watermark announcement and returns the
+// recorded watermark (announcements are monotone; a late or duplicate
+// notify never rewinds it).
+func (b *Backend) streamPublishLocal(v string, version int64) int64 {
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	s := b.streamFor(v)
+	if version > s.latest {
+		s.latest = version
+	}
+	return s.latest
+}
+
+// streamAdvanceLocal records a cursor position and returns the recorded
+// watermark.
+func (b *Backend) streamAdvanceLocal(v string, consumer, pos int64) int64 {
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	s := b.streamFor(v)
+	if pos > s.cursors[consumer] {
+		s.cursors[consumer] = pos
+	}
+	return s.latest
+}
+
+// streamRetireLocal raises the retained floor and returns it.
+func (b *Backend) streamRetireLocal(v string, below int64) int64 {
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	s := b.streamFor(v)
+	if below > s.floor {
+		s.floor = below
+	}
+	return s.floor
+}
+
+// StreamTable reports the node-local mirror of stream v: the recorded
+// watermark, floor, and cursor positions (copied).
+func (b *Backend) StreamTable(v string) (latest, floor int64, cursors map[int64]int64) {
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	s := b.streamFor(v)
+	cursors = make(map[int64]int64, len(s.cursors))
+	for k, p := range s.cursors {
+		cursors[k] = p
+	}
+	return s.latest, s.floor, cursors
+}
+
+// StreamPublish notifies the process serving node that stream v's complete
+// watermark reached version, and returns the node's recorded watermark.
+// The frame carries the driver's notion of the node's incarnation, so a
+// stale process rejects it (transport.StreamBackend).
+func (b *Backend) StreamPublish(node cluster.NodeID, v string, version int64) (int64, error) {
+	fr := &frame{Op: opPublish, Dst: int32(node), Name: v, Version: version, Tag: b.PeerIncarnation(node)}
+	resp, err := b.roundTrip(node, fr, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := respErr(resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// StreamAdvance notifies the process serving node that consumer's cursor
+// on stream v advanced to pos, and returns the node's recorded watermark
+// (transport.StreamBackend).
+func (b *Backend) StreamAdvance(node cluster.NodeID, v string, consumer, pos int64) (int64, error) {
+	fr := &frame{Op: opCursor, Dst: int32(node), Name: v, Version: pos, Bytes: consumer, Tag: b.PeerIncarnation(node)}
+	resp, err := b.roundTrip(node, fr, false)
+	if err != nil {
+		return 0, err
+	}
+	if err := respErr(resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// StreamRetire notifies the process serving node that stream v's versions
+// below the given bound are retired (transport.StreamBackend).
+func (b *Backend) StreamRetire(node cluster.NodeID, v string, below int64) error {
+	fr := &frame{Op: opStreamGC, Dst: int32(node), Name: v, Version: below, Tag: b.PeerIncarnation(node)}
+	resp, err := b.roundTrip(node, fr, false)
+	if err != nil {
+		return err
+	}
+	return respErr(resp)
+}
+
+// The compile-time check that Backend satisfies the optional streaming
+// interface the fabric type-asserts for.
+var _ transport.StreamBackend = (*Backend)(nil)

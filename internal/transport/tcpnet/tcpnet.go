@@ -57,6 +57,16 @@ type Config struct {
 	// silently served by a peer with empty state. 0 disables the check (the
 	// loopback and plain-driver configurations).
 	Incarnation uint64
+	// ReadPatience bounds the deferred wait of a serving-side waiting read
+	// (opRead with flagWait, every opReadMulti segment): a buffer not
+	// exposed within the window fails the read with a retryable error
+	// instead of holding the exchange open indefinitely. Elastic clusters
+	// set it on every codsnode so a read that raced a node replacement —
+	// routed to a process that never receives the buffer — is bounced back
+	// to the reader's retry layer, which re-pulls against the reconciled
+	// routing. 0 (the default) waits forever, the classic in-situ
+	// deferred-read semantics.
+	ReadPatience time.Duration
 }
 
 // Backend is a transport.Backend moving operations between simulated
@@ -106,6 +116,12 @@ type Backend struct {
 	// accounts is the per-peer accounting collected by the last
 	// MergeRemoteStats fan-out, guarded by mu.
 	accounts []NodeAccount
+
+	// streams is this node's stream table (streaming.go): the watermark,
+	// retained floor and cursor positions mirrored from the driver through
+	// the incarnation-fenced wire v5 streaming ops, guarded by streamMu.
+	streamMu sync.Mutex
+	streams  map[string]*nodeStream
 
 	shutdownOnce sync.Once
 	shutdownCh   chan struct{}
@@ -1077,7 +1093,7 @@ func (b *Backend) serveReadMulti(c net.Conn, fr *frame) bool {
 	m := frameMeter(fr)
 	reader := cluster.CoreID(fr.Src)
 	clip := func(spec transport.ReadSpec, dst []byte) ([]byte, error) {
-		payload, _, err := b.fabric.LocalRead(reader, spec.Owner, spec.Key, m, spec.Bytes, true)
+		payload, _, err := b.fabric.LocalReadDeadline(reader, spec.Owner, spec.Key, m, spec.Bytes, b.cfg.ReadPatience)
 		if err != nil {
 			return nil, err
 		}
@@ -1228,7 +1244,14 @@ func (b *Backend) execute(fr *frame) *frame {
 		if err := b.checkTarget(fr.Dst); err != nil {
 			return fail(err)
 		}
-		payload, ok, err := b.fabric.LocalRead(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), key, frameMeter(fr), fr.Bytes, fr.Flags&flagWait != 0)
+		var payload any
+		var ok bool
+		var err error
+		if fr.Flags&flagWait != 0 {
+			payload, ok, err = b.fabric.LocalReadDeadline(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), key, frameMeter(fr), fr.Bytes, b.cfg.ReadPatience)
+		} else {
+			payload, ok, err = b.fabric.LocalRead(cluster.CoreID(fr.Src), cluster.CoreID(fr.Dst), key, frameMeter(fr), fr.Bytes, false)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -1342,6 +1365,40 @@ func (b *Backend) execute(fr *frame) *frame {
 			return fail(err)
 		}
 		resp.Bytes = adopted
+	case opPublish:
+		// Stream fr.Name's complete watermark reached fr.Version. Fenced
+		// like a lease: a notification addressed to a previous incarnation
+		// of this node must not be acknowledged by its replacement.
+		if b.cfg.Incarnation != 0 && fr.Tag != 0 && fr.Tag != b.cfg.Incarnation {
+			return fail(fmt.Errorf("stream publish for incarnation %d, serving %d", fr.Tag, b.cfg.Incarnation))
+		}
+		if fr.Name == "" {
+			return fail(fmt.Errorf("stream publish without a variable name"))
+		}
+		resp.Tag = b.cfg.Incarnation
+		resp.Version = b.streamPublishLocal(fr.Name, fr.Version)
+	case opCursor:
+		// Consumer fr.Bytes of stream fr.Name advanced to position
+		// fr.Version; the response returns the recorded watermark so an
+		// elastic replacement can resume the stream from live positions.
+		if b.cfg.Incarnation != 0 && fr.Tag != 0 && fr.Tag != b.cfg.Incarnation {
+			return fail(fmt.Errorf("cursor advance for incarnation %d, serving %d", fr.Tag, b.cfg.Incarnation))
+		}
+		if fr.Name == "" {
+			return fail(fmt.Errorf("cursor advance without a variable name"))
+		}
+		resp.Tag = b.cfg.Incarnation
+		resp.Version = b.streamAdvanceLocal(fr.Name, fr.Bytes, fr.Version)
+	case opStreamGC:
+		// Versions of stream fr.Name below fr.Version are retired.
+		if b.cfg.Incarnation != 0 && fr.Tag != 0 && fr.Tag != b.cfg.Incarnation {
+			return fail(fmt.Errorf("stream gc for incarnation %d, serving %d", fr.Tag, b.cfg.Incarnation))
+		}
+		if fr.Name == "" {
+			return fail(fmt.Errorf("stream gc without a variable name"))
+		}
+		resp.Tag = b.cfg.Incarnation
+		resp.Version = b.streamRetireLocal(fr.Name, fr.Version)
 	case opShutdown, opDepart:
 		// Acknowledged here; serveConn triggers the shutdown channel after
 		// the response is on the wire.

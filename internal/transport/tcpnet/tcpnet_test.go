@@ -86,6 +86,13 @@ func sampleFrames() []*frame {
 		{Op: opDepart, Dst: 0},
 		{Op: opTransfer, Dst: 1, Payload: []byte{0x01, 0x00, 0x07, 'v', 'a', 'r'}},
 		{Op: opResp, Status: statusOK, Tag: 12},
+		// Streaming ops (wire v5): a publish notification announcing stream
+		// "u"'s complete watermark, a cursor advance (consumer id in Bytes,
+		// new position in Version), and a retirement raising the retained
+		// floor. All three carry the target's incarnation in Tag.
+		{Op: opPublish, Dst: 1, Name: "u", Version: 4, Tag: 2},
+		{Op: opCursor, Dst: 1, Name: "u", Version: 3, Bytes: 1, Tag: 2},
+		{Op: opStreamGC, Dst: 0, Name: "u", Version: 2, Tag: 2},
 	}
 }
 

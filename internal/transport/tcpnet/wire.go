@@ -42,6 +42,9 @@ const (
 	opLease     // membership: lease probe/renewal against incarnation Tag
 	opDepart    // membership: graceful departure of the serving node
 	opTransfer  // membership: adopt a batch of handed-off lookup entries
+	opPublish   // streaming: stream Name's complete watermark reached Version
+	opCursor    // streaming: consumer Bytes of stream Name advanced to Version
+	opStreamGC  // streaming: stream Name's versions below Version are retired
 	opMax       // one past the last valid op
 )
 
@@ -66,14 +69,17 @@ const (
 // header and the opSpans drain; version 4 added the membership ops
 // (join/lease/depart/transfer) and the incarnation id carried in the
 // hello exchange (the client's expectation in the request Span field,
-// the server's actual incarnation in the response Tag). A mismatched
-// peer is rejected at the handshake (there is no per-op fallback — a
-// driver must match its codsnode children), which is a clean fast
-// failure instead of an old server hanging on a frame layout it cannot
-// decode.
+// the server's actual incarnation in the response Tag); version 5 added
+// the streaming ops (publish-notify/cursor-advance/version-GC), each
+// incarnation-fenced like a lease probe so an elastic replacement resumes
+// streams while its stale predecessor cannot acknowledge them. A
+// mismatched peer is rejected at the handshake (there is no per-op
+// fallback — a driver must match its codsnode children), which is a clean
+// fast failure instead of an old server hanging on a frame layout it
+// cannot decode.
 const (
 	helloMagic  uint64 = 0x434F44534E455400 // "CODSNET\0"
-	wireVersion uint8  = 4
+	wireVersion uint8  = 5
 )
 
 // maxFrameDefault bounds a frame body (64 MiB) so a corrupted length

@@ -31,6 +31,14 @@ import (
 // transient — retry layers give up on it immediately.
 var ErrEndpointClosed = errors.New("endpoint closed")
 
+// ErrReadPatience marks a deferred read abandoned after a bounded wait:
+// the owner did not expose the requested buffer within the serving
+// process's patience window. Unlike ErrEndpointClosed it is transient —
+// the buffer may simply not have been staged yet, or the read may have
+// been routed to a replacement process that never receives it — so retry
+// layers re-resolve routing and pull again instead of giving up.
+var ErrReadPatience = errors.New("deferred read patience exhausted")
+
 // Registry instruments, indexed by cluster.Medium. The fabric's own
 // per-instance counters (MediumBytes/MediumOps) and these process-wide
 // counters are incremented at the same call site in record, so the obs

@@ -178,6 +178,50 @@ func mutationScenario(name string) genwf.Scenario {
 			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
 			Kill: 2,
 		}
+	case mutate.StaleWatermarkServed:
+		// Three rounds, lag bound three, consumers striding every third
+		// round: at the single consume the floor (0) is far below the
+		// watermark (2), so the mutated latest-value read serves the
+		// retained version 1 — the model answers version 2 with different
+		// bytes, and the version comparison catches it deterministically.
+		return genwf.Scenario{
+			Seed: 0x15, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Stream: true, Drop: true, Rounds: 3, MaxLag: 3, ConsumeEvery: 3,
+		}
+	case mutate.GCBeforeConsume:
+		// Lag bound two with a stride of two: the clean run never drops
+		// (the retire bound trails the slowest cursor exactly). The
+		// mutated bound retires one version consumers were still entitled
+		// to at the round-1 watermark advance — the floor and cursor
+		// positions diverge from the model immediately after that publish.
+		return genwf.Scenario{
+			Seed: 0x16, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Stream: true, Drop: true, Rounds: 4, MaxLag: 2, ConsumeEvery: 2,
+		}
+	case mutate.VersionSkipOnResubscribe:
+		// Keep-up consumers resubscribe after round 2 from position 1: the
+		// mutated resume lands at 2 and silently skips a version — the
+		// position check against the model's cursor catches the gap before
+		// any data is read.
+		return genwf.Scenario{
+			Seed: 0x17, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Stream: true, Drop: true, Rounds: 3, MaxLag: 2, ConsumeEvery: 1, Resub: 2,
+		}
 	default:
 		panic("unknown mutation " + name)
 	}
