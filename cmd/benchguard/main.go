@@ -37,6 +37,13 @@
 // expiry sweeps running, no topology change — against a tighter 3%, and
 // the streaming coupling mode against the classic put/get/discard
 // sequence moving identical bytes, against the default 5%.
+//
+// The adaptive remap plane gets a two-part gate: a paired overhead gate
+// bounds the steady-state cost of a planner loop re-scoring the mapping
+// from the live flow matrix while pulls proceed (budget 3%), and a
+// deterministic win gate stages a fully skewed placement, runs one
+// observe→plan→migrate round, and asserts the re-pull is byte-identical
+// while inter-node bytes drop by at least 15%.
 package main
 
 import (
@@ -54,6 +61,7 @@ import (
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/membership"
 	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/remap"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/transport"
 	"github.com/insitu/cods/internal/transport/tcpnet"
@@ -682,6 +690,226 @@ func streamingGate(reps int) error {
 	return nil
 }
 
+// remapOverheadBudget bounds the steady-state cost of the adaptive remap
+// plane on the TCP pull path. The toggle runs a planner loop at a 1ms
+// cadence — each tick rebuilds the observed flow matrix from the
+// machine's flow log and re-scores the block→core mapping against it,
+// exactly what an adaptive driver does between coupled iterations — while
+// the timed pulls proceed. No plan is applied, so the placement never
+// changes; the measured overhead is planner CPU plus the metrics-mutex
+// contention its flow-log snapshots add to the recording path.
+const remapOverheadBudget = 0.03
+
+func remapOverheadGate(reps int) error {
+	const gateTransfers = 16
+	nx := 1
+	for nx*nx < gateTransfers {
+		nx *= 2
+	}
+	ny := gateTransfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	if err != nil {
+		return err
+	}
+	// The planner scores the real staged blocks, so the puts run through a
+	// ledger exactly as a remap-capable driver stages them.
+	ledger := membership.NewLedger()
+	sp.SetPutRecorder(ledger)
+	cores := m.TotalCores()
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n + i)
+			}
+			h := sp.HandleAt(cluster.CoreID(n%cores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	region := geometry.NewBBox(
+		geometry.Point{side / 2, side / 2},
+		geometry.Point{nx*side - side/2, ny*side - side/2})
+	consumer := sp.HandleAt(0, 2, "get")
+	blocks := remap.LedgerBlocks(ledger)
+	var stop, done chan struct{}
+	set := func(on bool) {
+		if on {
+			stop, done = make(chan struct{}), make(chan struct{})
+			go func(stop, done chan struct{}) {
+				defer close(done)
+				t := time.NewTicker(time.Millisecond)
+				defer t.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-t.C:
+						fm := obs.BuildFlowMatrix(m.Metrics().Flows(""))
+						remap.Propose(m, fm, blocks, remap.Options{})
+					}
+				}
+			}(stop, done)
+			return
+		}
+		if stop != nil {
+			close(stop)
+			<-done
+			stop, done = nil, nil
+		}
+	}
+	_, overhead, slower, err := pairedOverhead(consumer, region, reps, set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tcp pull %d transfers: remap planner overhead %+.2f%% (slower in %.0f%% of pairs; budget %.0f%%)\n",
+		gateTransfers, 100*overhead, 100*slower, 100*remapOverheadBudget)
+	if overhead > remapOverheadBudget && slower >= signBar {
+		return fmt.Errorf("remap planner overhead %.2f%% exceeds budget %.0f%% (slower in %.0f%% of pairs)",
+			100*overhead, 100*remapOverheadBudget, 100*slower)
+	}
+	return nil
+}
+
+// remapWinFloor is the minimum fractional inter-node byte reduction one
+// remap round must deliver on the seeded skewed staging: every block is
+// staged on nodes 1..3 while the only consumer sits on node 0, so the
+// static mapping ships the whole domain over the wire on every pull. The
+// planner reads that traffic from the flow matrix, migrates each block
+// next to its reader through the put-ledger restage, and the re-pull must
+// return byte-identical values while the coupled volume shifts onto
+// shared memory. The gate is deterministic — byte counters, not timings —
+// so the floor encodes the headline claim, not machine jitter.
+const remapWinFloor = 0.15
+
+func remapWinGate() error {
+	const gateTransfers = 16
+	nx := 1
+	for nx*nx < gateTransfers {
+		nx *= 2
+	}
+	ny := gateTransfers / nx
+	m, err := cluster.NewMachine(nodes, coresPerNode)
+	if err != nil {
+		return err
+	}
+	f := transport.NewFabric(m)
+	pol := retry.Default()
+	pol.Deadline = 10 * time.Second
+	b, err := tcpnet.NewLoopback(f, tcpnet.Config{Retry: pol, IOTimeout: 10 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.SetBackend(nil)
+		b.Close()
+	}()
+	f.SetBackend(b)
+	region := geometry.BoxFromSize([]int{nx * side, ny * side})
+	sp, err := cods.NewSpace(f, region)
+	if err != nil {
+		return err
+	}
+	ledger := membership.NewLedger()
+	sp.SetPutRecorder(ledger)
+	// Skewed staging: owners cycle over the cores of nodes 1..3 only.
+	remoteCores := m.TotalCores() - coresPerNode
+	n := 0
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			blk := geometry.NewBBox(
+				geometry.Point{bx * side, by * side},
+				geometry.Point{(bx + 1) * side, (by + 1) * side})
+			data := make([]float64, blk.Volume())
+			for i := range data {
+				data[i] = float64(n+i+1) / 3.0
+			}
+			h := sp.HandleAt(cluster.CoreID(coresPerNode+n%remoteCores), 1, "put")
+			if err := h.PutSequential("u", 0, blk, data); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	consumer := sp.HandleAt(0, 2, "couple")
+	// Warm the schedule cache and connection pool, then meter one static
+	// pull — this is also the observed traffic the planner scores.
+	before, err := consumer.GetSequential("u", 0, region)
+	if err != nil {
+		return err
+	}
+	net0 := f.MediumBytes(cluster.Network)
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return err
+	}
+	staticNet := f.MediumBytes(cluster.Network) - net0
+	if staticNet == 0 {
+		return fmt.Errorf("remap win gate: skewed staging moved no inter-node bytes — the scenario is broken")
+	}
+
+	// One observe → plan → migrate round through the staged-block
+	// machinery: ledger restage, DHT resplit, epoch fence.
+	fm := obs.BuildFlowMatrix(m.Metrics().Flows(""))
+	plan := remap.Propose(m, fm, remap.LedgerBlocks(ledger), remap.Options{})
+	if len(plan.Moves) == 0 {
+		return fmt.Errorf("remap win gate: planner kept the static mapping on a fully skewed staging")
+	}
+	moved, err := remap.Apply(sp, ledger, plan, 2, "couple")
+	if err != nil {
+		return err
+	}
+
+	// First re-pull recomputes the fenced schedule and must be
+	// byte-identical; the second is the metered steady-state pull.
+	after, err := consumer.GetSequential("u", 0, region)
+	if err != nil {
+		return err
+	}
+	if len(after) != len(before) {
+		return fmt.Errorf("remap win gate: re-pull returned %d cells, want %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			return fmt.Errorf("remap win gate: retrieved values differ at cell %d after migration", i)
+		}
+	}
+	net1 := f.MediumBytes(cluster.Network)
+	if _, err := consumer.GetSequential("u", 0, region); err != nil {
+		return err
+	}
+	remapNet := f.MediumBytes(cluster.Network) - net1
+	reduction := 1 - float64(remapNet)/float64(staticNet)
+	fmt.Printf("remap win gate: %d blocks migrated, inter-node bytes %d -> %d per pull (-%.1f%%; floor %.0f%%), re-pull byte-identical\n",
+		moved, staticNet, remapNet, 100*reduction, 100*remapWinFloor)
+	if reduction < remapWinFloor {
+		return fmt.Errorf("remap round cut inter-node bytes by %.1f%%, below the %.0f%% floor (%d -> %d)",
+			100*reduction, 100*remapWinFloor, staticNet, remapNet)
+	}
+	return nil
+}
+
 func run(baseline string, reps int, threshold float64) error {
 	sp, consumer, region, err := buildRig()
 	if err != nil {
@@ -767,7 +995,16 @@ func run(baseline string, reps int, threshold float64) error {
 
 	// Guard 7: the streaming coupling mode against the classic
 	// put/get/discard sequence, identical bytes and placement.
-	return streamingGate(reps)
+	if err := streamingGate(reps); err != nil {
+		return err
+	}
+
+	// Guard 8: the adaptive remap plane — the planner's steady-state cost,
+	// then one migration round's win on a deterministic skewed staging.
+	if err := remapOverheadGate(reps); err != nil {
+		return err
+	}
+	return remapWinGate()
 }
 
 func main() {

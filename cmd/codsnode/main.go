@@ -39,7 +39,9 @@ func main() {
 		domainSpec = flag.String("domain", "", "coupled domain size, e.g. 32x32x32 (required)")
 		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		seed       = flag.Int64("seed", 1, "mapping seed; must match the driver")
-		obsOn      = flag.Bool("obs", false, "enable the metrics registry from process start "+
+		curve      = flag.String("curve", "", "lookup linearization policy: hilbert (default), morton or rowmajor; "+
+			"must match the driver")
+		obsOn = flag.Bool("obs", false, "enable the metrics registry from process start "+
 			"(required for the driver's per-node report reconciliation)")
 		spans = flag.Bool("spans", false, "capture a handler span for every remote operation "+
 			"carrying trace context, for the driver to drain into its merged trace")
@@ -54,7 +56,7 @@ func main() {
 	flag.Parse()
 	if err := run(nodeOptions{
 		node: *node, nodes: *nodes, cores: *cores,
-		domainSpec: *domainSpec, listen: *listen, seed: *seed,
+		domainSpec: *domainSpec, listen: *listen, seed: *seed, curve: *curve,
 		obs: *obsOn, spans: *spans, obsHTTP: *obsHTTP, pprof: *pprof,
 		readPatience: *readPatience, incarnation: *incarnation,
 	}); err != nil {
@@ -67,6 +69,7 @@ type nodeOptions struct {
 	node, nodes, cores int
 	domainSpec, listen string
 	seed               int64
+	curve              string
 	obs                bool
 	spans              bool
 	obsHTTP            string
@@ -90,7 +93,7 @@ func run(o nodeOptions) error {
 		cods.EnableObservability(true)
 		defer cods.EnableObservability(false)
 	}
-	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain, Seed: o.seed})
+	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain, Seed: o.seed, Curve: o.curve})
 	if err != nil {
 		return err
 	}

@@ -47,6 +47,7 @@ func (a *appFlags) Set(s string) error { *a = append(*a, s); return nil }
 type options struct {
 	nodes, cores     int
 	domainSpec       string
+	curve            string
 	dagPath          string
 	policyName       string
 	iterations, halo int
@@ -81,6 +82,7 @@ func main() {
 	flag.IntVar(&o.nodes, "nodes", 12, "number of compute nodes")
 	flag.IntVar(&o.cores, "cores", 4, "cores per node")
 	flag.StringVar(&o.domainSpec, "domain", "32x32x32", "coupled domain size, e.g. 32x32x32")
+	flag.StringVar(&o.curve, "curve", "", "lookup linearization policy: hilbert (default), morton or rowmajor")
 	flag.StringVar(&o.dagPath, "dag", "", "workflow description file (required)")
 	flag.StringVar(&o.policyName, "policy", "data-centric", "task mapping: data-centric or round-robin")
 	flag.IntVar(&o.iterations, "iterations", 1, "coupling iterations for concurrent bundles")
@@ -230,7 +232,7 @@ func run(o options) error {
 	if d.Domain != nil {
 		domain = d.Domain
 	}
-	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain})
+	fw, err := cods.New(cods.Config{Nodes: o.nodes, CoresPerNode: o.cores, Domain: domain, Curve: o.curve})
 	if err != nil {
 		return err
 	}
@@ -700,6 +702,11 @@ func startTCPBackend(fw *cods.Framework, o options, domain []int) (*tcpCluster, 
 		"-nodes", strconv.Itoa(o.nodes),
 		"-cores", strconv.Itoa(o.cores),
 		"-domain", strings.Join(dims, "x"),
+	}
+	// The DHT interval assignment is curve-relative: every serving node
+	// must linearize with the driver's policy or routing diverges.
+	if o.curve != "" {
+		args = append(args, "-curve", o.curve)
 	}
 	// Children mirror the driver's observability posture: a reconciled
 	// report needs every child's registry counting from process start, a

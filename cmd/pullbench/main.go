@@ -16,6 +16,8 @@
 //	pullbench                 # write results/BENCH_pull.json
 //	pullbench -o other.json   # write elsewhere
 //	pullbench -reps 9         # more timing repetitions (median is kept)
+//	pullbench -curve morton   # linearize lookups with a different policy
+//	pullbench -curve all      # sweep every policy into results/BENCH_curves.json
 package main
 
 import (
@@ -103,7 +105,7 @@ type rig struct {
 	region   geometry.BBox
 }
 
-func buildRig(transfers int) (*rig, error) {
+func buildRig(transfers int, curve string) (*rig, error) {
 	nx := 1
 	for nx*nx < transfers {
 		nx *= 2
@@ -114,7 +116,7 @@ func buildRig(transfers int) (*rig, error) {
 		return nil, err
 	}
 	f := transport.NewFabric(m)
-	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	sp, err := cods.NewSpaceWithCurve(f, geometry.BoxFromSize([]int{nx * side, ny * side}), curve)
 	if err != nil {
 		return nil, err
 	}
@@ -184,12 +186,12 @@ func (ft *fabricTotals) add(f *transport.Fabric) {
 	}
 }
 
-func runPull(reps int) ([]pullResult, bool, fabricTotals, error) {
+func runPull(reps int, curve string) ([]pullResult, bool, fabricTotals, error) {
 	var out []pullResult
 	var totals fabricTotals
 	identical := true
 	for _, transfers := range []int{16, 64, 256} {
-		r, err := buildRig(transfers)
+		r, err := buildRig(transfers, curve)
 		if err != nil {
 			return nil, false, totals, err
 		}
@@ -234,7 +236,7 @@ type tcpRig struct {
 	predicted int64 // schedule-predicted network bytes per retrieval
 }
 
-func buildTCPRig(transfers int) (*tcpRig, error) {
+func buildTCPRig(transfers int, curve string) (*tcpRig, error) {
 	nx := 1
 	for nx*nx < transfers {
 		nx *= 2
@@ -252,7 +254,7 @@ func buildTCPRig(transfers int) (*tcpRig, error) {
 		return nil, err
 	}
 	f.SetBackend(b)
-	sp, err := cods.NewSpace(f, geometry.BoxFromSize([]int{nx * side, ny * side}))
+	sp, err := cods.NewSpaceWithCurve(f, geometry.BoxFromSize([]int{nx * side, ny * side}), curve)
 	if err != nil {
 		b.Close()
 		return nil, err
@@ -343,10 +345,10 @@ func (r *tcpRig) timeTCP(batched bool, reps int) (tcpResult, error) {
 	}, nil
 }
 
-func runPullTCP(reps int) ([]tcpResult, error) {
+func runPullTCP(reps int, curve string) ([]tcpResult, error) {
 	var out []tcpResult
 	for _, transfers := range []int{16, 64} {
-		r, err := buildTCPRig(transfers)
+		r, err := buildTCPRig(transfers, curve)
 		if err != nil {
 			return nil, err
 		}
@@ -419,15 +421,131 @@ func runSpans(reps int) (spanResult, error) {
 	}, nil
 }
 
+// curveResult compares one linearization policy on the staged pull path:
+// the same round-robin blocks, the same full-domain retrieval, only the
+// lookup curve changes. InsetSpans is the fragmentation the DHT pays to
+// cover a half-block-inset query under this policy — the row-major curve
+// shatters it into one span per row, the locality-preserving curves keep
+// contiguous runs — and SpanNsPerOp is the raw (uncached) decomposition
+// walk producing those spans.
+type curveResult struct {
+	Curve       string  `json:"curve"`
+	Transfers   int     `json:"transfers"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec"`
+	InsetSpans  int     `json:"inset_query_spans"`
+	SpanNsPerOp int64   `json:"span_walk_ns_per_op"`
+}
+
+type curveReport struct {
+	GeneratedBy    string        `json:"generated_by"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	Machine        string        `json:"machine"`
+	ShmLatencyUs   float64       `json:"simulated_shm_read_latency_us"`
+	NetLatencyUs   float64       `json:"simulated_network_read_latency_us"`
+	BytesIdentical bool          `json:"bytes_identical_across_curves"`
+	Curves         []curveResult `json:"curves"`
+}
+
+// runCurves sweeps every registered linearization policy over an
+// identical staged retrieval. The retrieved values must be byte-identical
+// across policies — the curve only relabels the lookup index space — so
+// the sweep doubles as a cross-curve correctness check.
+func runCurves(reps int) ([]curveResult, bool, error) {
+	const transfers, workers = 64, 4
+	identical := true
+	var ref []float64
+	var out []curveResult
+	for _, name := range sfc.CurveNames() {
+		r, err := buildRig(transfers, name)
+		if err != nil {
+			return nil, false, err
+		}
+		d, _, err := r.timePull(workers, reps)
+		if err != nil {
+			return nil, false, err
+		}
+		got, err := r.consumer.GetSequential("u", 0, r.region)
+		if err != nil {
+			return nil, false, err
+		}
+		if ref == nil {
+			ref = got
+		} else if len(got) != len(ref) {
+			identical = false
+		} else {
+			for i := range got {
+				if got[i] != ref[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		l, err := sfc.ForDomain(name, r.region.Sizes())
+		if err != nil {
+			return nil, false, err
+		}
+		inset := geometry.NewBBox(
+			geometry.Point{side / 2, side / 2},
+			geometry.Point{r.region.Max[0] - side/2, r.region.Max[1] - side/2})
+		walk, nspans, err := timeSpanWalk(l, inset, reps)
+		if err != nil {
+			return nil, false, err
+		}
+		vol := r.region.Volume() * cods.ElemSize
+		out = append(out, curveResult{
+			Curve:       name,
+			Transfers:   transfers,
+			Workers:     workers,
+			NsPerOp:     d.Nanoseconds(),
+			MBPerSec:    float64(vol) / 1e6 / d.Seconds(),
+			InsetSpans:  nspans,
+			SpanNsPerOp: walk.Nanoseconds(),
+		})
+	}
+	return out, identical, nil
+}
+
+// timeSpanWalk medians reps raw decompositions of one query, cache off so
+// every repetition pays the full orthant walk.
+func timeSpanWalk(l sfc.Linearizer, q geometry.BBox, reps int) (time.Duration, int, error) {
+	sfc.ResetSpanCache()
+	sfc.SetSpanCacheCapacity(0)
+	defer func() {
+		sfc.ResetSpanCache()
+		sfc.SetSpanCacheCapacity(sfc.DefaultSpanCacheCapacity)
+	}()
+	nspans := len(l.Spans(q))
+	if nspans == 0 {
+		return 0, 0, fmt.Errorf("empty spans for %v", q)
+	}
+	times := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		l.Spans(q)
+		times = append(times, time.Since(start))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2], nspans, nil
+}
+
 func main() {
 	out := flag.String("o", filepath.Join("results", "BENCH_pull.json"), "output JSON path")
 	reps := flag.Int("reps", 7, "timing repetitions per configuration (median kept)")
 	obsReport := flag.Bool("report", false, "enable the metrics registry and write a reconciled report")
 	obsReportPath := flag.String("report-path", filepath.Join("results", "report.json"), "where -report writes the JSON report")
 	backend := flag.String("backend", "", `also benchmark a real backend ("tcp": loopback sockets, scatter-gather vs whole-block)`)
+	curve := flag.String("curve", "", `lookup linearization policy: hilbert (default), morton or rowmajor; "all" sweeps every policy`)
+	curvesOut := flag.String("curves-o", filepath.Join("results", "BENCH_curves.json"), `where -curve=all writes the sweep`)
 	flag.Parse()
 	if *reps < 1 {
 		*reps = 1
+	}
+	sweep := *curve == "all"
+	rigCurve := *curve
+	if sweep {
+		rigCurve = "" // the standard benches keep the default policy
 	}
 	if *obsReport {
 		// NOTE: instrumentation on changes what is being measured; -report
@@ -436,7 +554,7 @@ func main() {
 		obs.Enable(true)
 	}
 
-	pull, identical, fabTotals, err := runPull(*reps)
+	pull, identical, fabTotals, err := runPull(*reps, rigCurve)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
 		os.Exit(1)
@@ -450,7 +568,7 @@ func main() {
 	switch *backend {
 	case "":
 	case "tcp":
-		if tcp, err = runPullTCP(*reps); err != nil {
+		if tcp, err = runPullTCP(*reps, rigCurve); err != nil {
 			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -494,6 +612,46 @@ func main() {
 	for _, tr := range tcp {
 		fmt.Printf("  tcp  transfers=%-4d %-14s %10.3f ms/op  wire %8d B  frames %3d  metered=%v\n",
 			tr.Transfers, tr.Protocol, float64(tr.NsPerOp)/1e6, tr.WireBytes, tr.RequestFrames, tr.MeteredMatches)
+	}
+
+	if sweep {
+		curves, curvesIdentical, err := runCurves(*reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
+			os.Exit(1)
+		}
+		crep := curveReport{
+			GeneratedBy:    "cmd/pullbench -curve all",
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			Machine:        rep.Machine,
+			ShmLatencyUs:   rep.ShmLatencyUs,
+			NetLatencyUs:   rep.NetLatencyUs,
+			BytesIdentical: curvesIdentical,
+			Curves:         curves,
+		}
+		if err := os.MkdirAll(filepath.Dir(*curvesOut), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
+			os.Exit(1)
+		}
+		cbuf, err := json.MarshalIndent(crep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
+			os.Exit(1)
+		}
+		cbuf = append(cbuf, '\n')
+		if err := os.WriteFile(*curvesOut, cbuf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pullbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (bytes identical across curves: %v)\n", *curvesOut, curvesIdentical)
+		for _, c := range curves {
+			fmt.Printf("  curve %-9s %10.3f ms/op  inset spans %4d  walk %8.1f us\n",
+				c.Curve, float64(c.NsPerOp)/1e6, c.InsetSpans, float64(c.SpanNsPerOp)/1e3)
+		}
+		if !curvesIdentical {
+			fmt.Fprintln(os.Stderr, "pullbench: retrieved bytes differ across linearization policies")
+			os.Exit(1)
+		}
 	}
 
 	if *obsReport {

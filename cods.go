@@ -180,6 +180,9 @@ type Config struct {
 	Domain []int
 	// Seed makes the randomized mapping phases deterministic (default 1).
 	Seed int64
+	// Curve selects the linearization policy of the lookup index space:
+	// "hilbert" (or empty, the paper's default), "morton" or "rowmajor".
+	Curve string
 }
 
 // Framework is the top-level handle: a simulated machine, the CoDS space
@@ -205,7 +208,7 @@ func New(cfg Config) (*Framework, error) {
 		return nil, err
 	}
 	domain := geometry.BoxFromSize(cfg.Domain)
-	srv, err := runtime.NewServer(m, domain, seed)
+	srv, err := runtime.NewServerWithCurve(m, domain, seed, cfg.Curve)
 	if err != nil {
 		return nil, err
 	}

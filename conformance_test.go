@@ -49,6 +49,7 @@ func TestConformanceFaultsConcurrentPulls(t *testing.T) {
 		sc := genwf.Generate(1000 + seed)
 		sc.PullWorkers = 4
 		sc.Retry = 4
+		sc.Remap = false // remap rounds exclude fault plans; this sweep pins faults
 		if sc.Faults == "" {
 			sc.Faults = `{"seed": 7, "rules": [{"op": "read", "mode": "drop", "prob": 0.3, "max": 3}, {"op": "call", "mode": "error", "prob": 0.1, "max": 3}]}`
 		}
@@ -82,6 +83,44 @@ func TestConformanceElastic(t *testing.T) {
 		}
 		sc.Kill = 1 + int(seed)%sc.Nodes
 		sc.Rejoin = seed%2 == 0
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := conformance.RunCross(sc); err != nil {
+			reportShrunkCross(t, sc, err)
+		}
+	}
+}
+
+// TestConformanceRemap is the sweep pinned to adaptive-remapping
+// scenarios (DESIGN §5j): after the first get round the remap planner
+// consumes the observed flow matrix and migrates staged blocks toward
+// their readers (with a deterministic rotation fallback when the traffic
+// is already local), re-splitting the lookup intervals and bumping the
+// schedule-cache epoch. The second get round must stay byte-identical to
+// the reference model on both backends, and the flow deltas across the
+// remap epoch must equal the model prediction exactly. Seeds cycle the
+// linearization policy through all three curves so remapping is proven
+// independent of the space-filling curve underneath.
+func TestConformanceRemap(t *testing.T) {
+	curves := []string{"hilbert", "morton", "rowmajor"}
+	n := conformanceSeeds(t, 12)
+	for seed := uint64(1); seed <= n; seed++ {
+		sc := genwf.Generate(4000 + seed)
+		sc.Sequential = true
+		sc.Versions = 1
+		sc.Restage = false
+		sc.Kill = 0
+		sc.Rejoin = false
+		sc.Faults = ""
+		if sc.Mapping == genwf.ServerDataCentric {
+			sc.Mapping = genwf.Consecutive
+		}
+		if sc.Nodes < 2 {
+			sc.Nodes = 2
+		}
+		sc.Remap = true
+		sc.Curve = curves[int(seed)%len(curves)]
 		if err := sc.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

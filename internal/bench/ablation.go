@@ -24,17 +24,15 @@ func AblationLinearization() (*Table, error) {
 			"the Hilbert curve keeps geometrically close cells close in the index space, so queries touch far fewer spans (and DHT intervals)",
 		},
 	}
-	curve, err := sfc.NewCurve(3, 6)
-	if err != nil {
-		return nil, err
-	}
-	mz, err := sfc.NewMorton(3, 6)
-	if err != nil {
-		return nil, err
-	}
-	rm, err := sfc.NewRowMajor(3, 6)
-	if err != nil {
-		return nil, err
+	// The same registry the -curve flag selects from, over the 64^3 domain
+	// the queries below cover. CurveNames order matches the columns.
+	curves := make([]sfc.Linearizer, 0, len(sfc.CurveNames()))
+	for _, name := range sfc.CurveNames() {
+		l, err := sfc.ForDomain(name, []int{64, 64, 64})
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, l)
 	}
 	queries := []geometry.BBox{
 		geometry.NewBBox(geometry.Point{0, 0, 0}, geometry.Point{16, 16, 16}),
@@ -44,8 +42,11 @@ func AblationLinearization() (*Table, error) {
 		geometry.NewBBox(geometry.Point{0, 0, 0}, geometry.Point{64, 64, 8}),
 	}
 	for _, q := range queries {
-		t.AddRow(q.String(), fmt.Sprint(len(curve.Spans(q))),
-			fmt.Sprint(len(mz.Spans(q))), fmt.Sprint(len(rm.Spans(q))))
+		row := []string{q.String()}
+		for _, l := range curves {
+			row = append(row, fmt.Sprint(len(l.Spans(q))))
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

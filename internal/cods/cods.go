@@ -213,10 +213,18 @@ type PutRecorder interface {
 	RecordDiscard(v string, version int, region geometry.BBox, owner cluster.CoreID)
 }
 
-// NewSpace builds a CoDS over a fabric for a coupled data domain. The
-// domain determines the space-filling curve used by the lookup service.
+// NewSpace builds a CoDS over a fabric for a coupled data domain using the
+// default Hilbert linearization. The domain determines the curve's grid.
 func NewSpace(f *transport.Fabric, domain geometry.BBox) (*Space, error) {
-	curve, err := sfc.CurveForDomain(domain.Sizes())
+	return NewSpaceWithCurve(f, domain, sfc.CurveHilbert)
+}
+
+// NewSpaceWithCurve builds a CoDS over a fabric with a named linearization
+// policy ("hilbert", "morton" or "rowmajor"; empty selects Hilbert). The
+// curve governs how the lookup service splits the linearized index space
+// into per-node intervals and how regions decompose into index spans.
+func NewSpaceWithCurve(f *transport.Fabric, domain geometry.BBox, curveName string) (*Space, error) {
+	curve, err := sfc.ForDomain(curveName, domain.Sizes())
 	if err != nil {
 		return nil, fmt.Errorf("cods: %w", err)
 	}

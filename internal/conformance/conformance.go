@@ -21,7 +21,10 @@ import (
 	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/graph"
 	"github.com/insitu/cods/internal/mapping"
+	"github.com/insitu/cods/internal/membership"
+	"github.com/insitu/cods/internal/obs"
 	"github.com/insitu/cods/internal/refmodel"
+	"github.com/insitu/cods/internal/remap"
 	"github.com/insitu/cods/internal/retry"
 	"github.com/insitu/cods/internal/sfc"
 	"github.com/insitu/cods/internal/transport"
@@ -122,9 +125,16 @@ func run(sc genwf.Scenario, opts Options) error {
 	default:
 		return fmt.Errorf("conformance: unknown backend %q", opts.Backend)
 	}
-	space, err := cods.NewSpace(fabric, sc.DomainBox())
+	space, err := cods.NewSpaceWithCurve(fabric, sc.DomainBox(), sc.Curve)
 	if err != nil {
 		return err
+	}
+	var ledger *membership.Ledger
+	if sc.Remap {
+		// The remap planner reads staged blocks from the put ledger; the
+		// recorder must be installed before the producer stages anything.
+		ledger = membership.NewLedger()
+		space.SetPutRecorder(ledger)
 	}
 	if sc.PullWorkers > 0 {
 		space.SetPullWorkers(sc.PullWorkers)
@@ -162,7 +172,7 @@ func run(sc genwf.Scenario, opts Options) error {
 	if sc.Stream {
 		err = runStreaming(sc, opts, machine, space, prodApp, consApp, model, pred)
 	} else if sc.Sequential {
-		err = runSequential(sc, opts, machine, space, prodApp, consApp, model, pred)
+		err = runSequential(sc, opts, machine, space, ledger, prodApp, consApp, model, pred)
 	} else {
 		err = runConcurrent(sc, opts, machine, space, prodApp, consApp, model, pred)
 	}
@@ -257,6 +267,9 @@ func newConsumers(sc genwf.Scenario, space *cods.Space, consPl *cluster.Placemen
 // order of its regions, so get orderings vary across scenarios without
 // introducing nondeterminism within one.
 func rotate(n int, seed uint64, rank int) []int {
+	if n == 0 {
+		return nil // a block-cyclic tail task can own no regions at all
+	}
 	out := make([]int, n)
 	off := int((seed>>8 + uint64(uint32(rank))) % uint64(n))
 	for i := range out {
@@ -394,7 +407,7 @@ func runConcurrent(sc genwf.Scenario, opts Options, machine *cluster.Machine, sp
 // lookup) and retrieves everything; a restage scenario then moves every
 // block to a different core and re-runs the gets.
 func runSequential(sc genwf.Scenario, opts Options, machine *cluster.Machine, space *cods.Space,
-	prodApp, consApp graph.App, model *refmodel.Model, pred *predictor) error {
+	ledger *membership.Ledger, prodApp, consApp graph.App, model *refmodel.Model, pred *predictor) error {
 	prod, cons := prodApp.Decomp, consApp.Decomp
 	prodPl, err := mapping.Consecutive(machine, []graph.App{prodApp}, nil)
 	if err != nil {
@@ -453,6 +466,12 @@ func runSequential(sc genwf.Scenario, opts Options, machine *cluster.Machine, sp
 		return err
 	}
 
+	if sc.Remap {
+		if err := remapRound(sc, opts, machine, space, ledger, cons, model, pred, consumers, get); err != nil {
+			return err
+		}
+	}
+
 	if sc.Restage {
 		if err := restage(sc, machine, space, prod, prodPl, model); err != nil {
 			return err
@@ -486,6 +505,85 @@ func runSequential(sc genwf.Scenario, opts Options, machine *cluster.Machine, sp
 		}
 	}
 	return checkInvariants(sc, machine, space, pred, consumers, prodPl, consPl, prodApp, consApp)
+}
+
+// remapRound runs one adaptive traffic-driven remap between get rounds:
+// the planner consumes the flow matrix observed during round 0 together
+// with the put ledger, the executor migrates the chosen blocks through the
+// elastic machinery (restage at the target, interval re-split, epoch
+// bump), and a second full get round must return byte-identical data. The
+// flow deltas across the remap epoch must equal exactly what the model
+// predicts for the re-pull under the new ownership — migration itself
+// books no coupled bytes. When the planner finds no profitable move (the
+// observed traffic is already local) a deterministic rotation plan —
+// every block one node over, same core slot — exercises the executor path
+// anyway.
+func remapRound(sc genwf.Scenario, opts Options, machine *cluster.Machine, space *cods.Space,
+	ledger *membership.Ledger, cons *decomp.Decomposition, model *refmodel.Model, pred *predictor,
+	consumers []*consumer,
+	get func(c *consumer, v string, version int, region geometry.BBox) ([]float64, error)) error {
+	window := obs.NewFlowWindow()
+	fm := obs.BuildFlowMatrix(machine.Metrics().Flows(""))
+	window.Update(&fm) // baseline: everything booked before the remap epoch
+
+	blocks := remap.LedgerBlocks(ledger)
+	if len(blocks) == 0 {
+		return fmt.Errorf("conformance: remap round found an empty put ledger\n%s", sc.GoLiteral())
+	}
+	plan := remap.Propose(machine, fm, blocks, remap.Options{})
+	if len(plan.Moves) == 0 {
+		for _, b := range blocks {
+			node := int(machine.NodeOf(b.Owner))
+			slot := int(b.Owner) % machine.CoresPerNode()
+			to := machine.CoreOn(cluster.NodeID((node+1)%machine.NumNodes()), slot)
+			plan.Moves = append(plan.Moves, remap.Move{Block: b, To: to})
+		}
+	}
+	// Mirror the migration into the model before executing it for real.
+	for _, mv := range plan.Moves {
+		if err := model.Move(mv.Block.Var, mv.Block.Version, mv.Block.Region, int(mv.Block.Owner), int(mv.To)); err != nil {
+			return err
+		}
+	}
+	moved, err := remap.Apply(space, ledger, plan, consAppID, "remap")
+	if err != nil {
+		return fmt.Errorf("conformance: remap apply: %w\n%s", err, sc.GoLiteral())
+	}
+	if moved != len(plan.Moves) {
+		return fmt.Errorf("conformance: remap applied %d of %d planned moves\n%s",
+			moved, len(plan.Moves), sc.GoLiteral())
+	}
+	if err := checkOwners(sc, machine, space, cons, model); err != nil {
+		return err
+	}
+	// Predict the post-remap round twice: into the cumulative predictor
+	// (invariants 1-4b run over the whole scenario) and into a fresh one
+	// holding only this epoch, compared against the window deltas below.
+	epoch := newPredictor(machine)
+	for _, c := range consumers {
+		for _, v := range sc.VarNames() {
+			for _, region := range c.regions {
+				pred.addGet(model, v, 0, region, c.h.Core())
+				epoch.addGet(model, v, 0, region, c.h.Core())
+			}
+		}
+	}
+	if err := consumeRound(sc, opts, consumers, model, get, 1); err != nil {
+		return err
+	}
+	after := obs.BuildFlowMatrix(machine.Metrics().Flows(""))
+	window.Update(&after)
+	deltas := make(map[flowKey]int64)
+	for _, c := range after.Cells {
+		if c.Class != cluster.InterApp.String() || c.Delta == 0 {
+			continue
+		}
+		deltas[flowKey{src: cluster.NodeID(c.Src), dst: cluster.NodeID(c.Dst)}] += c.Delta
+	}
+	if err := compareFlowMaps(deltas, epoch.flows); err != nil {
+		return fmt.Errorf("remap epoch delta: %w\n%s", err, sc.GoLiteral())
+	}
+	return nil
 }
 
 // elasticRound applies one topology change and re-runs a full get round

@@ -97,7 +97,7 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 	// totals for halo-free, restage-free, topology-stable scenarios (its
 	// overlap model covers exactly the owned regions, once per variable
 	// per version).
-	if sc.Ghost == 0 && !sc.Restage && sc.Kill == 0 {
+	if sc.Ghost == 0 && !sc.Restage && sc.Kill == 0 && !sc.Remap {
 		tr, err := mapping.CoupledTraffic(machine, prodPl, consPl, prodApp, consApp, cods.ElemSize)
 		if err != nil {
 			return err
@@ -132,6 +132,9 @@ func checkInvariants(sc genwf.Scenario, machine *cluster.Machine, space *cods.Sp
 	// gets and misses both scale with the round count.
 	rounds := 1
 	if sc.Restage {
+		rounds++
+	}
+	if sc.Remap {
 		rounds++
 	}
 	if sc.Kill != 0 {

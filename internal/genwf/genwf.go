@@ -102,6 +102,20 @@ type Scenario struct {
 	// always staged by nature).
 	Staged bool
 
+	// Curve selects the DHT linearization policy: "" or "hilbert" is the
+	// paper's Hilbert curve, "morton" and "rowmajor" the ablation
+	// alternatives. Both backends of a cross run share the choice.
+	Curve string
+
+	// Remap runs one adaptive traffic-driven remap round after the first
+	// get round of a sequential single-version scenario: the planner
+	// scores the observed flow matrix against the block→core mapping,
+	// migrated blocks restage next to their heaviest reader (with a
+	// deterministic rotation fallback when the planner finds no gain), and
+	// a second get round must return byte-identical data with exact flow
+	// accounting across the remap epoch.
+	Remap bool
+
 	// Restage makes the producers of a sequential single-version scenario
 	// discard every block after the first get round and re-stage it at
 	// the next rank's core, followed by a second get round — exercising
@@ -221,7 +235,7 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("genwf: domain[%d] = %d", d, ext)
 		}
 	}
-	if _, err := sfc.CurveForDomain(sc.Domain); err != nil {
+	if _, err := sfc.ForDomain(sc.Curve, sc.Domain); err != nil {
 		return fmt.Errorf("genwf: %w", err)
 	}
 	prod, err := sc.ProdDecomp()
@@ -262,6 +276,23 @@ func (sc Scenario) Validate() error {
 	}
 	if sc.Restage && (!sc.Sequential || sc.Versions != 1) {
 		return fmt.Errorf("genwf: restage requires sequential single-version coupling")
+	}
+	if sc.Remap {
+		if !sc.Sequential || sc.Versions != 1 {
+			return fmt.Errorf("genwf: remap requires sequential single-version coupling")
+		}
+		if sc.Nodes < 2 {
+			return fmt.Errorf("genwf: remap needs a second node to migrate toward")
+		}
+		if sc.Restage || sc.Kill != 0 {
+			return fmt.Errorf("genwf: remap is exclusive with restage/kill")
+		}
+		if sc.Stream {
+			return fmt.Errorf("genwf: remap applies to lock-step coupling only")
+		}
+		if sc.Faults != "" {
+			return fmt.Errorf("genwf: remap rounds hold exact flow accounting; no fault plan")
+		}
 	}
 	if sc.Kill < 0 || sc.Kill > sc.Nodes {
 		return fmt.Errorf("genwf: kill = %d with %d nodes", sc.Kill, sc.Nodes)
@@ -394,6 +425,7 @@ func streamize(r *rng, sc *Scenario) {
 	sc.Vars = 1
 	sc.Restage = false
 	sc.Rejoin = false
+	sc.Remap = false
 	if sc.Mapping != Consecutive && sc.Mapping != RoundRobin {
 		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin)))
 	}
@@ -431,6 +463,16 @@ func generate(r *rng, seed uint64) Scenario {
 	if r.intn(4) == 0 {
 		sc.Vars = 2
 	}
+	// Linearization policy: mostly the default Hilbert curve, with the
+	// ablation alternatives mixed into the sweep.
+	switch r.intn(5) {
+	case 0:
+		sc.Curve = sfc.CurveMorton
+	case 1:
+		sc.Curve = sfc.CurveRowMajor
+	case 2:
+		sc.Curve = sfc.CurveHilbert
+	}
 	sc.ProdKind, sc.ProdGrid, sc.ProdBlock = genDecomp(r, sc.Domain)
 	sc.ConsKind, sc.ConsGrid, sc.ConsBlock = genDecomp(r, sc.Domain)
 	sc.Ghost = r.pick(0, 0, 1, 2)
@@ -442,6 +484,9 @@ func generate(r *rng, seed uint64) Scenario {
 			sc.Kill = 1 + r.intn(sc.Nodes)
 			sc.Rejoin = r.intn(2) == 0
 		}
+		if sc.Nodes > 1 && sc.Versions == 1 && !sc.Restage && sc.Kill == 0 && r.intn(4) == 0 {
+			sc.Remap = true
+		}
 	} else {
 		sc.Mapping = Policy(r.pick(int(Consecutive), int(RoundRobin), int(ServerDataCentric)))
 		sc.Staged = r.intn(2) == 0
@@ -449,6 +494,9 @@ func generate(r *rng, seed uint64) Scenario {
 	switch r.intn(3) {
 	case 0:
 		sc.Retry = 4
+		if sc.Remap {
+			break // remap rounds hold exact flow accounting; no fault plan
+		}
 		sc.Faults = genFaultPlan(r, sc.Retry)
 	case 1:
 		sc.Retry = 3
@@ -563,6 +611,12 @@ func (sc Scenario) GoLiteral() string {
 		sc.Vars, sc.Ghost, sc.Versions, policyLiteral(sc.Mapping))
 	fmt.Fprintf(&b, "\tPullWorkers: %d, SpanCache: %d, Staged: %v, Restage: %v,\n",
 		sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	if sc.Curve != "" {
+		fmt.Fprintf(&b, "\tCurve: %q,\n", sc.Curve)
+	}
+	if sc.Remap {
+		fmt.Fprintf(&b, "\tRemap: true,\n")
+	}
 	if sc.Kill != 0 {
 		fmt.Fprintf(&b, "\tKill: %d, Rejoin: %v,\n", sc.Kill, sc.Rejoin)
 	}
@@ -586,6 +640,12 @@ func (sc Scenario) DAG() string {
 	fmt.Fprintf(&b, "# consumer: %s grid=%v block=%v ghost=%d\n", sc.ConsKind, sc.ConsGrid, sc.ConsBlock, sc.Ghost)
 	fmt.Fprintf(&b, "# vars=%d versions=%d mapping=%s workers=%d spancache=%d staged=%v restage=%v\n",
 		sc.Vars, sc.Versions, sc.Mapping, sc.PullWorkers, sc.SpanCache, sc.Staged, sc.Restage)
+	if sc.Curve != "" {
+		fmt.Fprintf(&b, "# curve: %s\n", sc.Curve)
+	}
+	if sc.Remap {
+		fmt.Fprintf(&b, "# remap: one adaptive traffic-driven round after round 0\n")
+	}
 	if sc.Kill != 0 {
 		fmt.Fprintf(&b, "# elastic: kill node %d after round 0, rejoin=%v\n", sc.Kill-1, sc.Rejoin)
 	}

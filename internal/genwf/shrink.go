@@ -51,6 +51,9 @@ func candidates(sc Scenario) []Scenario {
 	if sc.Restage {
 		add(func(c *Scenario) { c.Restage = false })
 	}
+	if sc.Remap {
+		add(func(c *Scenario) { c.Remap = false })
+	}
 	if sc.Resub != 0 {
 		add(func(c *Scenario) { c.Resub = 0 })
 	}
@@ -84,6 +87,12 @@ func candidates(sc Scenario) []Scenario {
 			add(func(c *Scenario) { c.Kill = 1 })
 		}
 	}
+	if !sc.Sequential {
+		// Sequential staging is the base coupling mode — concurrent adds
+		// the overlap machinery on top, and needs cores for both apps at
+		// once that the producers-then-consumers schedule frees up.
+		add(func(c *Scenario) { c.Sequential = true })
+	}
 	if !sc.Sequential && !sc.Staged {
 		add(func(c *Scenario) { c.Staged = true })
 	}
@@ -106,6 +115,9 @@ func candidates(sc Scenario) []Scenario {
 	}
 	if sc.Mapping != Consecutive {
 		add(func(c *Scenario) { c.Mapping = Consecutive })
+	}
+	if sc.Curve != "" {
+		add(func(c *Scenario) { c.Curve = "" })
 	}
 	if sc.ProdKind != decomp.Blocked {
 		add(func(c *Scenario) { c.ProdKind, c.ProdBlock = decomp.Blocked, nil })

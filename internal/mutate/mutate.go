@@ -76,6 +76,17 @@ const (
 	// past the position it asked for, so the first unconsumed version is
 	// silently skipped across a Close/SubscribeFrom boundary.
 	VersionSkipOnResubscribe = "version-skip-on-resubscribe"
+	// RemapStaleOwner makes the remap executor leave the pre-migration
+	// owner's location record registered while its copy of the block is
+	// already discarded, so even after the epoch bump lookups keep routing
+	// pulls to the old owner — the adaptive-remapping twin of StaleEpoch,
+	// living in the lookup plane instead of the schedule cache.
+	RemapStaleOwner = "remap-stale-owner"
+	// MortonBitSwap transposes the Morton bit interleave: bit l of
+	// dimension d lands at l*dim+d instead of l*dim+(dim-1-d), so Encode
+	// and Spans disagree about which cells an aligned index range covers
+	// (Decode keeps the correct layout, breaking the round trip).
+	MortonBitSwap = "morton-bit-swap"
 )
 
 // Names lists every seeded defect, in a stable order.
@@ -83,5 +94,6 @@ func Names() []string {
 	return []string{GeomIntersect, SfcSpanSplit, DropCoalesce, StaleEpoch, SwapFlow, NoRequery,
 		TCPTruncFrame, TCPMeterClass, TCPSGDrop, TCPSGReorder, ObsFlowMisattribute,
 		StaleRouteAfterResplit, LeaseExpiryIgnored,
-		StaleWatermarkServed, GCBeforeConsume, VersionSkipOnResubscribe}
+		StaleWatermarkServed, GCBeforeConsume, VersionSkipOnResubscribe,
+		RemapStaleOwner, MortonBitSwap}
 }

@@ -1,0 +1,342 @@
+// Package remap closes the ROADMAP's adaptive re-mapping loop (DESIGN
+// §5j): between coupled iterations a planner consumes the observed
+// per-(src,dst)/per-medium flow matrix (obs.BuildFlowMatrix over the
+// fabric's flow log), scores the current block→core mapping against the
+// inter-node coupled bytes it actually moved, and emits a migration plan.
+// The executor applies the plan through the staged-block machinery the
+// elastic plane already trusts — put-ledger restage at the new owner,
+// discard at the old, a DHT Resplit to converge the location tables and an
+// epoch bump fencing out every cached schedule — so in-flight pulls
+// converge on the new placement with no correctness change.
+package remap
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/membership"
+	"github.com/insitu/cods/internal/mutate"
+	"github.com/insitu/cods/internal/netsim"
+	"github.com/insitu/cods/internal/obs"
+)
+
+// Registry instruments for the remap plane: how often plans are computed
+// and how long that takes (the planner runs on the coupling path between
+// iterations, so its cost is budgeted by benchguard), how many moves were
+// planned and how many blocks actually migrated.
+var (
+	obsPlans   = obs.C("remap.plans")
+	obsPlanNs  = obs.H("remap.plan_ns", obs.DefaultLatencyBounds())
+	obsPlanned = obs.C("remap.moves.planned")
+	obsMoved   = obs.C("remap.moves.applied")
+)
+
+// Block is one staged block of the current mapping: what the planner
+// scores and the executor migrates. It mirrors the put ledger's record
+// minus the payload.
+type Block struct {
+	Var     string
+	Version int
+	Region  geometry.BBox
+	Owner   cluster.CoreID
+}
+
+// key is the ledger-compatible identity of a block.
+func (b Block) key() string {
+	return fmt.Sprintf("%s|%d|%s|%d", b.Var, b.Version, b.Region.String(), b.Owner)
+}
+
+// Move relocates one block to a new owner core.
+type Move struct {
+	Block Block
+	To    cluster.CoreID
+	// Shares[n] is the observed inter-app byte volume node n pulled of
+	// this block, apportioned from the flow matrix by block volume. The
+	// move's gain and the netsim what-if evaluation both derive from it.
+	Shares []int64
+	// Gain is the predicted inter-node byte reduction of this move under
+	// a repeat of the observed traffic: the destination's share becomes
+	// node-local while the old node's local share moves onto the network.
+	Gain int64
+}
+
+// Plan is one remap round's migration set with its traffic score.
+type Plan struct {
+	Moves []Move
+	// StaticNetBytes is the observed inter-node coupled byte volume under
+	// the current mapping; PlannedNetBytes the predicted volume under the
+	// planned one, assuming the traffic pattern repeats.
+	StaticNetBytes  int64
+	PlannedNetBytes int64
+}
+
+// Reduction is the predicted fractional inter-node byte reduction.
+func (p Plan) Reduction() float64 {
+	if p.StaticNetBytes == 0 {
+		return 0
+	}
+	return float64(p.StaticNetBytes-p.PlannedNetBytes) / float64(p.StaticNetBytes)
+}
+
+// Options tune the planner.
+type Options struct {
+	// MinGain is the fractional inter-node byte reduction below which
+	// Propose keeps the static mapping (an empty plan). Zero accepts any
+	// strictly positive gain.
+	MinGain float64
+	// MaxMoves bounds the migrations per round, largest gains first
+	// (0 = unbounded).
+	MaxMoves int
+}
+
+// Propose scores the current block→core mapping against the observed flow
+// matrix and plans migrations. The matrix's inter-app cells give who pulled
+// how much from whom at node granularity; each source node's outgoing
+// volume is apportioned over the blocks stored there by block volume, and a
+// block whose heaviest reader is a remote node is planned to move next to
+// that reader (same core slot on the reader's node). The result is
+// deterministic: blocks are visited in ledger order and ties break toward
+// the lower node id.
+func Propose(m *cluster.Machine, fm obs.FlowMatrix, blocks []Block, opts Options) Plan {
+	start := time.Now()
+	defer func() {
+		obsPlans.Inc()
+		obsPlanNs.Observe(time.Since(start).Nanoseconds())
+	}()
+
+	numNodes := m.NumNodes()
+	// traffic[src][dst]: observed inter-app bytes pulled by dst's tasks
+	// from blocks stored on src (both media — the src==dst diagonal is the
+	// node-local volume a move away must be charged for).
+	traffic := make([][]int64, numNodes)
+	for i := range traffic {
+		traffic[i] = make([]int64, numNodes)
+	}
+	var static int64
+	for _, c := range fm.Cells {
+		if c.Class != cluster.InterApp.String() {
+			continue
+		}
+		if c.Src < 0 || c.Src >= numNodes || c.Dst < 0 || c.Dst >= numNodes {
+			continue
+		}
+		traffic[c.Src][c.Dst] += c.Bytes
+		if c.Src != c.Dst {
+			static += c.Bytes
+		}
+	}
+	plan := Plan{StaticNetBytes: static, PlannedNetBytes: static}
+
+	// Apportionment denominator: staged volume per node.
+	volByNode := make([]int64, numNodes)
+	for _, b := range blocks {
+		volByNode[m.NodeOf(b.Owner)] += b.Region.Volume()
+	}
+
+	sorted := append([]Block(nil), blocks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].key() < sorted[j].key() })
+
+	var cands []Move
+	for _, b := range sorted {
+		src := int(m.NodeOf(b.Owner))
+		vol := b.Region.Volume()
+		if volByNode[src] == 0 || vol == 0 {
+			continue
+		}
+		shares := make([]int64, numNodes)
+		best, bestBytes := src, int64(-1)
+		for dst := 0; dst < numNodes; dst++ {
+			shares[dst] = traffic[src][dst] * vol / volByNode[src]
+			if dst == src {
+				continue
+			}
+			if shares[dst] > bestBytes {
+				best, bestBytes = dst, shares[dst]
+			}
+		}
+		gain := bestBytes - shares[src]
+		if best == src || gain <= 0 {
+			continue
+		}
+		slot := int(b.Owner) % m.CoresPerNode()
+		cands = append(cands, Move{
+			Block:  b,
+			To:     m.CoreOn(cluster.NodeID(best), slot),
+			Shares: shares,
+			Gain:   gain,
+		})
+	}
+	// Largest gains first; ties keep ledger order (stable sort).
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Gain > cands[j].Gain })
+	if opts.MaxMoves > 0 && len(cands) > opts.MaxMoves {
+		cands = cands[:opts.MaxMoves]
+	}
+	var reduction int64
+	for _, mv := range cands {
+		reduction += mv.Gain
+	}
+	if static == 0 || reduction <= 0 {
+		return plan // keep the static mapping
+	}
+	if float64(reduction)/float64(static) < opts.MinGain {
+		return plan
+	}
+	plan.Moves = cands
+	plan.PlannedNetBytes = static - reduction
+	obsPlanned.Add(int64(len(cands)))
+	return plan
+}
+
+// Apply executes a migration plan: every moved block is discarded at its
+// old owner and restaged byte-identically at the new one from the put
+// ledger's copy, the lookup tables are re-converged with a Resplit over
+// the unchanged member set, and an epoch bump fences out every consumer's
+// cached schedule so no in-flight pull can be served from pre-migration
+// state. Returns the number of blocks migrated. The space's put recorder
+// must be the given ledger, so the restage re-records itself.
+func Apply(sp *cods.Space, ledger *membership.Ledger, plan Plan, app int, phase string) (int, error) {
+	if len(plan.Moves) == 0 {
+		return 0, nil
+	}
+	byKey := make(map[string]membership.Block)
+	for _, b := range ledger.Blocks() {
+		byKey[Block{Var: b.Var, Version: b.Version, Region: b.Region, Owner: b.Owner}.key()] = b
+	}
+	moved := 0
+	for _, mv := range plan.Moves {
+		b := mv.Block
+		if mv.To == b.Owner {
+			continue
+		}
+		rec, ok := byKey[b.key()]
+		if !ok {
+			return moved, fmt.Errorf("remap: block %q v%d %v at core %d not in the put ledger",
+				b.Var, b.Version, b.Region, b.Owner)
+		}
+		from := sp.HandleAt(b.Owner, app, phase)
+		if mutate.Enabled(mutate.RemapStaleOwner) {
+			// Seeded defect: free the old copy's bytes but leave its
+			// location record registered (and skip the schedule
+			// invalidation that rides on the removal), so lookups keep
+			// naming the pre-migration owner after the epoch bump.
+			from.Discard(b.Var, b.Version, b.Region)
+		} else if err := from.DiscardSequential(b.Var, b.Version, b.Region); err != nil {
+			return moved, fmt.Errorf("remap: discarding %q v%d at core %d: %w",
+				b.Var, b.Version, b.Owner, err)
+		}
+		to := sp.HandleAt(mv.To, app, phase)
+		if err := to.PutSequential(b.Var, b.Version, b.Region, rec.Data); err != nil {
+			return moved, fmt.Errorf("remap: restaging %q v%d at core %d: %w",
+				b.Var, b.Version, mv.To, err)
+		}
+		moved++
+		obsMoved.Inc()
+	}
+	// Converge: the member set is unchanged, but entries moved between
+	// intervals' owners — the re-split re-registers every surviving record
+	// with the DHT cores responsible for it (inserts are idempotent).
+	members := sp.Lookup().Members()
+	if len(members) > 0 {
+		cl := sp.Lookup().ClientAt(sp.Fabric().Machine().CoreOn(cluster.NodeID(members[0]), 0))
+		if _, err := cl.Resplit(phase, app, members); err != nil {
+			return moved, fmt.Errorf("remap: resplit: %w", err)
+		}
+	}
+	// Fence: any schedule computed before the migration may name an old
+	// owner; the epoch bump forces recomputation from the fresh tables.
+	sp.InvalidateAll()
+	return moved, nil
+}
+
+// Cost is one placement's price under the torus cost model.
+type Cost struct {
+	NetworkBytes int64
+	ShmBytes     int64
+	Makespan     float64
+	MaxLinkBytes int64
+}
+
+// Evaluate prices the static and the planned mapping through the netsim
+// cost model: the observed inter-app cells are replayed as one flow per
+// (src,dst) node pair, and each planned move re-homes its apportioned
+// share vector from the old owner's node to the new one (remote readers
+// switch links, the destination's share becomes a memory copy). This is
+// the what-if the codsrun report surfaces next to a plan.
+func Evaluate(sim *netsim.Simulator, m *cluster.Machine, fm obs.FlowMatrix, p Plan) (static, planned Cost) {
+	n := m.NumNodes()
+	base := make([][]int64, n)
+	for i := range base {
+		base[i] = make([]int64, n)
+	}
+	for _, c := range fm.Cells {
+		if c.Class != cluster.InterApp.String() {
+			continue
+		}
+		if c.Src < 0 || c.Src >= n || c.Dst < 0 || c.Dst >= n {
+			continue
+		}
+		base[c.Src][c.Dst] += c.Bytes
+	}
+	adj := make([][]int64, n)
+	for i := range adj {
+		adj[i] = append([]int64(nil), base[i]...)
+	}
+	for _, mv := range p.Moves {
+		src := int(m.NodeOf(mv.Block.Owner))
+		dst := int(m.NodeOf(mv.To))
+		for reader, bytes := range mv.Shares {
+			if bytes == 0 || reader >= n {
+				continue
+			}
+			adj[src][reader] -= bytes
+			adj[dst][reader] += bytes
+		}
+	}
+	return price(sim, base), price(sim, adj)
+}
+
+// price runs one traffic matrix through the simulator.
+func price(sim *netsim.Simulator, mat [][]int64) Cost {
+	var flows []cluster.Flow
+	for src := range mat {
+		for dst, bytes := range mat[src] {
+			if bytes <= 0 {
+				continue
+			}
+			medium := cluster.Network
+			if src == dst {
+				medium = cluster.SharedMemory
+			}
+			flows = append(flows, cluster.Flow{
+				Phase:  "remap-eval",
+				Src:    cluster.NodeID(src),
+				Dst:    cluster.NodeID(dst),
+				Bytes:  bytes,
+				Medium: medium.String(),
+				Class:  cluster.InterApp.String(),
+			})
+		}
+	}
+	res := sim.Simulate(flows)
+	return Cost{
+		NetworkBytes: res.NetworkBytes,
+		ShmBytes:     res.ShmBytes,
+		Makespan:     res.Makespan,
+		MaxLinkBytes: res.MaxLinkBytes,
+	}
+}
+
+// LedgerBlocks converts a put ledger's snapshot into the planner's block
+// form (the payloads stay behind in the ledger).
+func LedgerBlocks(l *membership.Ledger) []Block {
+	recs := l.Blocks()
+	out := make([]Block, 0, len(recs))
+	for _, b := range recs {
+		out = append(out, Block{Var: b.Var, Version: b.Version, Region: b.Region, Owner: b.Owner})
+	}
+	return out
+}

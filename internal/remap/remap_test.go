@@ -1,0 +1,219 @@
+package remap
+
+import (
+	"testing"
+
+	"github.com/insitu/cods/internal/cluster"
+	"github.com/insitu/cods/internal/cods"
+	"github.com/insitu/cods/internal/geometry"
+	"github.com/insitu/cods/internal/membership"
+	"github.com/insitu/cods/internal/netsim"
+	"github.com/insitu/cods/internal/obs"
+	"github.com/insitu/cods/internal/transport"
+)
+
+func mustMachine(t *testing.T, nodes, cores int) *cluster.Machine {
+	t.Helper()
+	m, err := cluster.NewMachine(nodes, cores)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return m
+}
+
+// matrixCell builds one inter-app cell of a synthetic flow matrix.
+func matrixCell(src, dst int, bytes int64) obs.FlowCell {
+	medium := cluster.Network
+	if src == dst {
+		medium = cluster.SharedMemory
+	}
+	return obs.FlowCell{Src: src, Dst: dst, Medium: medium.String(),
+		Class: cluster.InterApp.String(), Bytes: bytes}
+}
+
+func TestProposeMovesHotBlockToItsReader(t *testing.T) {
+	m := mustMachine(t, 2, 2)
+	box := geometry.BoxFromSize([]int{4, 4})
+	blocks := []Block{
+		{Var: "u", Version: 0, Region: box, Owner: m.CoreOn(0, 1)},
+	}
+	fm := obs.FlowMatrix{Cells: []obs.FlowCell{
+		matrixCell(0, 1, 1024), // node 1 pulls everything node 0 stores
+	}}
+	p := Propose(m, fm, blocks, Options{})
+	if len(p.Moves) != 1 {
+		t.Fatalf("planned %d moves, want 1: %+v", len(p.Moves), p)
+	}
+	mv := p.Moves[0]
+	if got, want := mv.To, m.CoreOn(1, 1); got != want {
+		t.Fatalf("move target core %d, want %d (same slot on the reader's node)", got, want)
+	}
+	if mv.Gain != 1024 {
+		t.Fatalf("gain %d, want 1024", mv.Gain)
+	}
+	if p.StaticNetBytes != 1024 || p.PlannedNetBytes != 0 {
+		t.Fatalf("scores static=%d planned=%d, want 1024/0", p.StaticNetBytes, p.PlannedNetBytes)
+	}
+	if r := p.Reduction(); r != 1 {
+		t.Fatalf("reduction %v, want 1", r)
+	}
+}
+
+func TestProposeKeepsLocallyReadBlocks(t *testing.T) {
+	m := mustMachine(t, 2, 2)
+	box := geometry.BoxFromSize([]int{4, 4})
+	blocks := []Block{{Var: "u", Version: 0, Region: box, Owner: m.CoreOn(0, 0)}}
+	fm := obs.FlowMatrix{Cells: []obs.FlowCell{
+		matrixCell(0, 0, 4096), // mostly local reads
+		matrixCell(0, 1, 512),  // a thin remote tail
+	}}
+	p := Propose(m, fm, blocks, Options{})
+	if len(p.Moves) != 0 {
+		t.Fatalf("planned %d moves, want 0 (local share dominates): %+v", len(p.Moves), p.Moves)
+	}
+	if p.PlannedNetBytes != p.StaticNetBytes {
+		t.Fatalf("planned %d != static %d for an empty plan", p.PlannedNetBytes, p.StaticNetBytes)
+	}
+}
+
+func TestProposeMinGainKeepsStatic(t *testing.T) {
+	m := mustMachine(t, 2, 2)
+	box := geometry.BoxFromSize([]int{4, 4})
+	blocks := []Block{
+		{Var: "u", Version: 0, Region: box, Owner: m.CoreOn(0, 0)},
+		{Var: "w", Version: 0, Region: box, Owner: m.CoreOn(1, 0)},
+	}
+	fm := obs.FlowMatrix{Cells: []obs.FlowCell{
+		matrixCell(0, 1, 100),   // u: tiny win from moving to node 1
+		matrixCell(1, 1, 10000), // w stays put
+		matrixCell(1, 0, 9000),  // and accounts for most inter-node bytes
+	}}
+	if p := Propose(m, fm, blocks, Options{MinGain: 0.5}); len(p.Moves) != 0 {
+		t.Fatalf("planned %d moves under a 50%% gain floor, want 0", len(p.Moves))
+	}
+	if p := Propose(m, fm, blocks, Options{}); len(p.Moves) == 0 {
+		t.Fatalf("planned no moves without a gain floor, want the small win taken")
+	}
+}
+
+func TestProposeMaxMovesTakesLargestGains(t *testing.T) {
+	m := mustMachine(t, 3, 1)
+	boxA := geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{4, 4})
+	boxB := geometry.NewBBox(geometry.Point{4, 0}, geometry.Point{8, 4})
+	blocks := []Block{
+		{Var: "a", Version: 0, Region: boxA, Owner: m.CoreOn(0, 0)},
+		{Var: "b", Version: 0, Region: boxB, Owner: m.CoreOn(1, 0)},
+	}
+	fm := obs.FlowMatrix{Cells: []obs.FlowCell{
+		matrixCell(0, 2, 100),
+		matrixCell(1, 2, 900),
+	}}
+	p := Propose(m, fm, blocks, Options{MaxMoves: 1})
+	if len(p.Moves) != 1 {
+		t.Fatalf("planned %d moves, want 1", len(p.Moves))
+	}
+	if p.Moves[0].Block.Var != "b" {
+		t.Fatalf("kept move %q, want the larger gain %q", p.Moves[0].Block.Var, "b")
+	}
+}
+
+// TestApplyMigratesByteIdentically drives the full loop on an in-process
+// fabric: stage on node 0, pull from node 1 (observing the skew), plan,
+// apply, and require the re-pull to be byte-identical with zero inter-node
+// coupled bytes.
+func TestApplyMigratesByteIdentically(t *testing.T) {
+	m := mustMachine(t, 2, 2)
+	f := transport.NewFabric(m)
+	domain := geometry.BoxFromSize([]int{8, 8})
+	sp, err := cods.NewSpace(f, domain)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	ledger := membership.NewLedger()
+	sp.SetPutRecorder(ledger)
+
+	const prodApp, consApp = 1, 2
+	halves := []geometry.BBox{
+		geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{4, 8}),
+		geometry.NewBBox(geometry.Point{4, 0}, geometry.Point{8, 8}),
+	}
+	for i, rg := range halves {
+		h := sp.HandleAt(m.CoreOn(0, i), prodApp, "put")
+		data := make([]float64, rg.Volume())
+		for j := range data {
+			data[j] = float64(i*1000 + j)
+		}
+		if err := h.PutSequential("u", 0, rg, data); err != nil {
+			t.Fatalf("PutSequential: %v", err)
+		}
+	}
+	consumer := sp.HandleAt(m.CoreOn(1, 0), consApp, "get")
+	before, err := consumer.GetSequential("u", 0, domain)
+	if err != nil {
+		t.Fatalf("GetSequential (static): %v", err)
+	}
+
+	fm := obs.BuildFlowMatrix(m.Metrics().Flows(""))
+	plan := Propose(m, fm, LedgerBlocks(ledger), Options{})
+	if len(plan.Moves) != 2 {
+		t.Fatalf("planned %d moves, want both staged halves: %+v", len(plan.Moves), plan)
+	}
+	moved, err := Apply(sp, ledger, plan, consApp, "remap")
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if moved != 2 {
+		t.Fatalf("moved %d blocks, want 2", moved)
+	}
+
+	netBefore := m.Metrics().Bytes(cluster.InterApp, cluster.Network)
+	after, err := consumer.GetSequential("u", 0, domain)
+	if err != nil {
+		t.Fatalf("GetSequential (remapped): %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("result length changed: %d vs %d", len(after), len(before))
+	}
+	for i := range after {
+		if after[i] != before[i] {
+			t.Fatalf("cell %d differs after remap: %v vs %v", i, after[i], before[i])
+		}
+	}
+	if d := m.Metrics().Bytes(cluster.InterApp, cluster.Network) - netBefore; d != 0 {
+		t.Fatalf("remapped pull still moved %d inter-node coupled bytes, want 0", d)
+	}
+	// The ledger must have followed the migration.
+	for _, b := range ledger.Blocks() {
+		if got := m.NodeOf(b.Owner); got != 1 {
+			t.Fatalf("ledger block %q still owned on node %d, want 1", b.Var, got)
+		}
+	}
+}
+
+func TestEvaluatePricesPlannedBelowStatic(t *testing.T) {
+	m := mustMachine(t, 2, 2)
+	sim, err := netsim.New(netsim.DefaultConfig(), m.NumNodes())
+	if err != nil {
+		t.Fatalf("netsim.New: %v", err)
+	}
+	box := geometry.BoxFromSize([]int{4, 4})
+	blocks := []Block{{Var: "u", Version: 0, Region: box, Owner: m.CoreOn(0, 0)}}
+	fm := obs.FlowMatrix{Cells: []obs.FlowCell{matrixCell(0, 1, 1<<20)}}
+	plan := Propose(m, fm, blocks, Options{})
+	if len(plan.Moves) != 1 {
+		t.Fatalf("planned %d moves, want 1", len(plan.Moves))
+	}
+	static, planned := Evaluate(sim, m, fm, plan)
+	if static.NetworkBytes != 1<<20 {
+		t.Fatalf("static network bytes %d, want %d", static.NetworkBytes, 1<<20)
+	}
+	if planned.NetworkBytes != 0 {
+		t.Fatalf("planned network bytes %d, want 0 (the reader owns the block now)", planned.NetworkBytes)
+	}
+	if planned.ShmBytes != 1<<20 {
+		t.Fatalf("planned shm bytes %d, want %d", planned.ShmBytes, 1<<20)
+	}
+	if planned.Makespan >= static.Makespan {
+		t.Fatalf("planned makespan %v not below static %v", planned.Makespan, static.Makespan)
+	}
+}

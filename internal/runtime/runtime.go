@@ -187,10 +187,18 @@ type Server struct {
 
 // NewServer bootstraps the framework on a machine for a coupled data
 // domain: it builds the HybridDART fabric, the CoDS space (with its lookup
-// service) and registers one execution client per core.
+// service) and registers one execution client per core. The space
+// linearizes with the default Hilbert curve; NewServerWithCurve selects
+// another policy.
 func NewServer(m *cluster.Machine, domain geometry.BBox, seed int64) (*Server, error) {
+	return NewServerWithCurve(m, domain, seed, "")
+}
+
+// NewServerWithCurve is NewServer with an explicit linearization policy
+// ("hilbert", "morton" or "rowmajor"; empty selects the default).
+func NewServerWithCurve(m *cluster.Machine, domain geometry.BBox, seed int64, curve string) (*Server, error) {
 	f := transport.NewFabric(m)
-	sp, err := cods.NewSpace(f, domain)
+	sp, err := cods.NewSpaceWithCurve(f, domain, curve)
 	if err != nil {
 		return nil, err
 	}

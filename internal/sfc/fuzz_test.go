@@ -6,6 +6,68 @@ import (
 	"github.com/insitu/cods/internal/geometry"
 )
 
+// fuzzCurve builds the linearizer a fuzz input selects, clamping dim and
+// bits into the constructible range so every input is meaningful.
+func fuzzCurve(t *testing.T, kind uint8, dim, bits int) Linearizer {
+	t.Helper()
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > 3 {
+		dim = 1 + dim%3
+	}
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 6 {
+		bits = 1 + bits%6
+	}
+	var l Linearizer
+	var err error
+	switch kind % 3 {
+	case 0:
+		l, err = NewCurve(dim, bits)
+	case 1:
+		l, err = NewMorton(dim, bits)
+	case 2:
+		l, err = NewRowMajor(dim, bits)
+	}
+	if err != nil {
+		t.Fatalf("constructing curve kind %d dim %d bits %d: %v", kind%3, dim, bits, err)
+	}
+	return l
+}
+
+// FuzzLinearizerRoundTrip asserts bijectivity of every linearization
+// policy: Decode inverts Encode over the whole index space, for Hilbert,
+// Morton and row-major curves across the dims and bits the conformance
+// scenarios shrink to.
+func FuzzLinearizerRoundTrip(f *testing.F) {
+	// Seed corpus: (kind, dim, bits) pairs from shrunk conformance
+	// scenarios — 1-D domains of 8 and 16, 2-D and 3-D coupling grids.
+	f.Add(uint8(0), 1, 3, uint64(5))
+	f.Add(uint8(0), 1, 4, uint64(9))
+	f.Add(uint8(0), 2, 3, uint64(37))
+	f.Add(uint8(1), 2, 3, uint64(11))
+	f.Add(uint8(1), 2, 4, uint64(200))
+	f.Add(uint8(1), 3, 2, uint64(63))
+	f.Add(uint8(2), 3, 3, uint64(511))
+	f.Add(uint8(2), 1, 1, uint64(1))
+	f.Fuzz(func(t *testing.T, kind uint8, dim, bits int, idx uint64) {
+		l := fuzzCurve(t, kind, dim, bits)
+		idx %= l.Total()
+		p := l.Decode(idx)
+		for d, x := range p {
+			if x < 0 || x >= 1<<uint(l.Bits()) {
+				t.Fatalf("decode(%d)[%d] = %d outside [0, %d)", idx, d, x, 1<<uint(l.Bits()))
+			}
+		}
+		if back := l.Encode(p); back != idx {
+			t.Fatalf("round trip broken: decode(%d) = %v encodes back to %d", idx, p, back)
+		}
+	})
+}
+
 // FuzzSpans asserts the span decomposition invariant for arbitrary boxes:
 // total span length equals the clipped query volume, and no panic occurs.
 func FuzzSpans(f *testing.F) {

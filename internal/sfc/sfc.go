@@ -73,20 +73,60 @@ func NewCurve(dim, bits int) (*Curve, error) {
 // dimensions share the largest bit width, as the transform requires a cubic
 // grid).
 func CurveForDomain(size []int) (*Curve, error) {
-	if len(size) == 0 {
-		return nil, fmt.Errorf("sfc: empty domain")
+	dim, bits, err := domainParams(size)
+	if err != nil {
+		return nil, err
 	}
-	bits := 1
+	return NewCurve(dim, bits)
+}
+
+// domainParams derives the (dim, bits) of the padded cubic grid covering
+// the given domain sizes.
+func domainParams(size []int) (dim, bits int, err error) {
+	if len(size) == 0 {
+		return 0, 0, fmt.Errorf("sfc: empty domain")
+	}
+	bits = 1
 	for _, s := range size {
 		if s < 1 {
-			return nil, fmt.Errorf("sfc: domain extent %d < 1", s)
+			return 0, 0, fmt.Errorf("sfc: domain extent %d < 1", s)
 		}
-		b := bitsFor(s)
-		if b > bits {
+		if b := bitsFor(s); b > bits {
 			bits = b
 		}
 	}
-	return NewCurve(len(size), bits)
+	return len(size), bits, nil
+}
+
+// The selectable linearization policies (DESIGN §5j). Hilbert is the
+// paper's curve and the default; Morton and row-major are the ablation
+// alternatives.
+const (
+	CurveHilbert  = "hilbert"
+	CurveMorton   = "morton"
+	CurveRowMajor = "rowmajor"
+)
+
+// CurveNames lists the selectable linearizer names, default first.
+func CurveNames() []string { return []string{CurveHilbert, CurveMorton, CurveRowMajor} }
+
+// ForDomain builds the named linearizer over the smallest padded cubic
+// grid covering the given domain sizes. The empty name selects Hilbert.
+func ForDomain(name string, size []int) (Linearizer, error) {
+	dim, bits, err := domainParams(size)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "", CurveHilbert:
+		return NewCurve(dim, bits)
+	case CurveMorton:
+		return NewMorton(dim, bits)
+	case CurveRowMajor:
+		return NewRowMajor(dim, bits)
+	default:
+		return nil, fmt.Errorf("sfc: unknown curve %q (want one of %v)", name, CurveNames())
+	}
 }
 
 // bitsFor returns the minimum b with 2^b >= s (at least 1).
@@ -432,7 +472,9 @@ func (r *RowMajor) Decode(idx uint64) geometry.Point {
 }
 
 // Spans decomposes a box into row-major index spans: one contiguous run per
-// fixed prefix of leading coordinates.
+// fixed prefix of leading coordinates. Results share the process-wide span
+// LRU with the other linearizers, keyed by the curve family so a cached
+// Hilbert or Morton decomposition of the same box is never served here.
 func (r *RowMajor) Spans(b geometry.BBox) []Span {
 	query, ok := b.Intersect(r.Domain())
 	if !ok {
@@ -441,6 +483,10 @@ func (r *RowMajor) Spans(b geometry.BBox) []Span {
 	// Runs vary along the last dimension; iterate the leading dims.
 	if r.dim == 1 {
 		return []Span{{Start: uint64(query.Min[0]), End: uint64(query.Max[0])}}
+	}
+	key := spanKey{kind: kindRowMajor, dim: r.dim, bits: r.bits, box: boxKey(query)}
+	if spans, ok := globalSpanCache.get(key); ok {
+		return spans
 	}
 	prefix := geometry.BBox{Min: query.Min[:r.dim-1], Max: query.Max[:r.dim-1]}
 	var spans []Span
@@ -452,7 +498,9 @@ func (r *RowMajor) Spans(b geometry.BBox) []Span {
 		start := r.Encode(full)
 		spans = append(spans, Span{Start: start, End: start + uint64(query.Size(last))})
 	})
-	return MergeSpans(spans)
+	spans = MergeSpans(spans)
+	globalSpanCache.put(key, spans)
+	return spans
 }
 
 // Morton is a Z-order (bit-interleaving) linearizer over the same padded
@@ -517,9 +565,16 @@ func (m *Morton) Decode(idx uint64) geometry.Point {
 	}
 	p := make(geometry.Point, m.dim)
 	for d := 0; d < m.dim; d++ {
+		pos := l2pos(m.dim, d)
+		if mutate.Enabled(mutate.MortonBitSwap) {
+			// Seeded defect: transposed interleave — bit l of dimension d
+			// is read from l*dim+d instead of l*dim+(dim-1-d), so Decode
+			// disagrees with Encode about the bit layout.
+			pos = d
+		}
 		var v uint64
 		for l := 0; l < m.bits; l++ {
-			bit := (idx >> uint(l*m.dim+(m.dim-1-d))) & 1
+			bit := (idx >> uint(l*m.dim+pos)) & 1
 			v |= bit << uint(l)
 		}
 		p[d] = int(v)
@@ -527,17 +582,36 @@ func (m *Morton) Decode(idx uint64) geometry.Point {
 	return p
 }
 
+// l2pos is the within-level bit position of dimension d in the Morton
+// interleave: the first dimension owns the most significant lane.
+func l2pos(dim, d int) int { return dim - 1 - d }
+
 // Spans decomposes a box query using the same aligned-orthant walk as the
 // Hilbert curve: every aligned index range of length 2^(dim*level) covers
-// one axis-aligned cube under Z-order too.
+// one axis-aligned cube under Z-order too. Results are memoized in the
+// process-wide span LRU, keyed by the curve family so a cached Hilbert
+// decomposition of the same box is never served for a Morton query.
 func (m *Morton) Spans(b geometry.BBox) []Span {
 	query, ok := b.Intersect(m.Domain())
 	if !ok {
 		return nil
 	}
+	if mutate.Enabled(mutate.MortonBitSwap) {
+		// Seeded defect path: recompute uncached (never poison the LRU)
+		// through the transposed-interleave Decode.
+		var spans []Span
+		m.spanWalk(0, m.bits, query, &spans)
+		return MergeSpans(spans)
+	}
+	key := spanKey{kind: kindMorton, dim: m.dim, bits: m.bits, box: boxKey(query)}
+	if spans, ok := globalSpanCache.get(key); ok {
+		return spans
+	}
 	var spans []Span
 	m.spanWalk(0, m.bits, query, &spans)
-	return MergeSpans(spans)
+	spans = MergeSpans(spans)
+	globalSpanCache.put(key, spans)
+	return spans
 }
 
 func (m *Morton) spanWalk(start uint64, level int, query geometry.BBox, spans *[]Span) {

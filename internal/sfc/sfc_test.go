@@ -1,6 +1,7 @@
 package sfc
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -380,5 +381,109 @@ func TestLinearizerLocalityOrdering(t *testing.T) {
 	hs, ms, rs := len(h.Spans(q)), len(m.Spans(q)), len(r.Spans(q))
 	if !(hs <= ms && ms <= rs) {
 		t.Fatalf("span ordering violated: hilbert %d, morton %d, row-major %d", hs, ms, rs)
+	}
+}
+
+// TestForDomainSelectsCurve: the named factory builds the right
+// linearizer for each policy name, defaults to Hilbert, and rejects
+// unknown names.
+func TestForDomainSelectsCurve(t *testing.T) {
+	size := []int{8, 8}
+	for _, tc := range []struct {
+		name string
+		want string
+	}{
+		{"", "*sfc.Curve"},
+		{CurveHilbert, "*sfc.Curve"},
+		{CurveMorton, "*sfc.Morton"},
+		{CurveRowMajor, "*sfc.RowMajor"},
+	} {
+		l, err := ForDomain(tc.name, size)
+		if err != nil {
+			t.Fatalf("ForDomain(%q): %v", tc.name, err)
+		}
+		if got := fmt.Sprintf("%T", l); got != tc.want {
+			t.Fatalf("ForDomain(%q) built %s, want %s", tc.name, got, tc.want)
+		}
+		if l.Dim() != 2 || l.Bits() != 3 {
+			t.Fatalf("ForDomain(%q) dim=%d bits=%d, want 2/3", tc.name, l.Dim(), l.Bits())
+		}
+	}
+	if _, err := ForDomain("peano", size); err == nil {
+		t.Fatal("unknown curve name accepted")
+	}
+	if len(CurveNames()) != 3 {
+		t.Fatalf("CurveNames() = %v, want the three policies", CurveNames())
+	}
+}
+
+// TestSpansMatchNaiveEnumeration differentially checks the span
+// decomposition of every curve against brute force: the union of the
+// spans of a box must be exactly {Encode(p) : p in box clipped to the
+// domain}, across aligned, unaligned, degenerate and clipped boxes.
+func TestSpansMatchNaiveEnumeration(t *testing.T) {
+	boxes2 := []geometry.BBox{
+		geometry.NewBBox(geometry.Point{0, 0}, geometry.Point{8, 8}),
+		geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{7, 5}),
+		geometry.NewBBox(geometry.Point{3, 3}, geometry.Point{4, 4}),
+		geometry.NewBBox(geometry.Point{-2, 5}, geometry.Point{9, 12}),
+	}
+	boxes3 := []geometry.BBox{
+		geometry.NewBBox(geometry.Point{0, 0, 0}, geometry.Point{4, 4, 4}),
+		geometry.NewBBox(geometry.Point{1, 0, 2}, geometry.Point{3, 4, 3}),
+	}
+	for _, name := range CurveNames() {
+		for _, tc := range []struct {
+			size  []int
+			boxes []geometry.BBox
+		}{
+			{[]int{8, 8}, boxes2},
+			{[]int{4, 4, 4}, boxes3},
+		} {
+			l, err := ForDomain(name, tc.size)
+			if err != nil {
+				t.Fatalf("ForDomain(%q, %v): %v", name, tc.size, err)
+			}
+			domain := geometry.BoxFromSize(tc.size)
+			for _, box := range tc.boxes {
+				covered := make(map[uint64]bool)
+				for _, s := range l.Spans(box) {
+					for idx := s.Start; idx < s.End; idx++ {
+						if covered[idx] {
+							t.Fatalf("%s %v: index %d covered twice", name, box, idx)
+						}
+						covered[idx] = true
+					}
+				}
+				clipped, ok := box.Intersect(domain)
+				if !ok {
+					if len(covered) != 0 {
+						t.Fatalf("%s %v: spans cover %d cells of a disjoint box", name, box, len(covered))
+					}
+					continue
+				}
+				var cells int
+				p := make(geometry.Point, len(tc.size))
+				var walk func(d int)
+				walk = func(d int) {
+					if d == len(tc.size) {
+						cells++
+						if idx := l.Encode(p); !covered[idx] {
+							t.Fatalf("%s %v: spans miss cell %v at index %d", name, box, p, idx)
+						}
+						return
+					}
+					for x := clipped.Min[d]; x < clipped.Max[d]; x++ {
+						p[d] = x
+						walk(d + 1)
+					}
+				}
+				walk(0)
+				if len(covered) != cells {
+					t.Fatalf("%s %v: spans cover %d indices, clipped box has %d cells",
+						name, box, len(covered), cells)
+				}
+			}
+		}
 	}
 }

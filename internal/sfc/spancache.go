@@ -42,6 +42,7 @@ type spanKey struct {
 const (
 	kindHilbert uint8 = iota
 	kindMorton
+	kindRowMajor
 )
 
 // boxKey renders a box into a compact canonical string key.

@@ -219,3 +219,52 @@ func TestSpanCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSpanCacheKeyedByCurveKind: the cache key must carry the curve's
+// identity, not just its geometry — Hilbert, Morton and row-major curves
+// of identical dim/bits produce different decompositions for the same
+// box, and a curve switch mid-process (the -curve policy is selectable
+// end to end) must never serve one curve's spans to another. Each curve
+// first populates the cache, then every answer is compared against an
+// uncached recomputation.
+func TestSpanCacheKeyedByCurveKind(t *testing.T) {
+	resetCache(t)
+	h, _ := NewCurve(2, 4)
+	m, _ := NewMorton(2, 4)
+	r, _ := NewRowMajor(2, 4)
+	q := geometry.NewBBox(geometry.Point{1, 2}, geometry.Point{7, 11})
+
+	cached := map[string][]Span{
+		"hilbert":  h.Spans(q), // miss: populates the shared cache
+		"morton":   m.Spans(q), // would hit hilbert's entry if kind were unkeyed
+		"rowmajor": r.Spans(q),
+	}
+	// The three decompositions are genuinely distinct for this box, so a
+	// conflated key could not go unnoticed.
+	if len(cached["hilbert"]) == len(cached["morton"]) {
+		hEqual := true
+		for i := range cached["hilbert"] {
+			if cached["hilbert"][i] != cached["morton"][i] {
+				hEqual = false
+				break
+			}
+		}
+		if hEqual {
+			t.Fatal("hilbert and morton spans identical; pick a different probe box")
+		}
+	}
+	SetSpanCacheCapacity(0) // recompute below bypasses the cache entirely
+	for name, l := range map[string]Linearizer{"hilbert": h, "morton": m, "rowmajor": r} {
+		fresh := l.Spans(q)
+		got := cached[name]
+		if len(got) != len(fresh) {
+			t.Fatalf("%s: cached %d spans, uncached %d", name, len(got), len(fresh))
+		}
+		for i := range fresh {
+			if got[i] != fresh[i] {
+				t.Fatalf("%s span %d: cached %v, uncached %v (cache served another curve's entry)",
+					name, i, got[i], fresh[i])
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/insitu/cods/internal/conformance"
 	"github.com/insitu/cods/internal/decomp"
 	"github.com/insitu/cods/internal/genwf"
+	"github.com/insitu/cods/internal/geometry"
 	"github.com/insitu/cods/internal/membership"
 	"github.com/insitu/cods/internal/mutate"
 	"github.com/insitu/cods/internal/sfc"
@@ -208,6 +209,21 @@ func mutationScenario(name string) genwf.Scenario {
 			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
 			Stream: true, Drop: true, Rounds: 4, MaxLag: 2, ConsumeEvery: 2,
 		}
+	case mutate.RemapStaleOwner:
+		// One adaptive remap round migrates every staged block across
+		// nodes. The defective executor discards the source copy but leaves
+		// its location record registered, so the post-remap owner check
+		// sees one entry more than the model predicts — and a pull routed
+		// to the stale owner would double-cover its region.
+		return genwf.Scenario{
+			Seed: 0x18, Nodes: 2, CoresPerNode: 2, Domain: []int{8},
+			Sequential: true,
+			ProdKind:   decomp.Blocked, ProdGrid: []int{2},
+			ConsKind: decomp.Blocked, ConsGrid: []int{2},
+			Vars: 1, Ghost: 0, Versions: 1, Mapping: genwf.Consecutive,
+			PullWorkers: 1, SpanCache: sfc.DefaultSpanCacheCapacity,
+			Remap: true,
+		}
 	case mutate.VersionSkipOnResubscribe:
 		// Keep-up consumers resubscribe after round 2 from position 1: the
 		// mutated resume lands at 2 and silently skips a version — the
@@ -259,6 +275,61 @@ func detectLeaseExpiryIgnored(t *testing.T) {
 	t.Logf("detected %q: %v", mutate.LeaseExpiryIgnored, err)
 }
 
+// detectMortonBitSwap proves the linearizer suite catches a transposed
+// Morton bit interleave. The defect is a consistent relabeling of the
+// index space: DHT inserts and queries route through the same mutated
+// Spans, so the scenario pipeline cannot see it — only the curve's own
+// contracts (Decode inverts Encode; Spans covers exactly the box's cells
+// under Encode) break, on any curve of two or more dimensions.
+func detectMortonBitSwap(t *testing.T) {
+	probe := func() error {
+		m, err := sfc.NewMorton(2, 3)
+		if err != nil {
+			return err
+		}
+		for idx := uint64(0); idx < m.Total(); idx++ {
+			p := m.Decode(idx)
+			if back := m.Encode(p); back != idx {
+				return fmt.Errorf("morton round trip broken: decode(%d) = %v encodes back to %d", idx, p, back)
+			}
+		}
+		box := geometry.NewBBox(geometry.Point{1, 0}, geometry.Point{5, 3})
+		covered := make(map[uint64]bool)
+		for _, s := range m.Spans(box) {
+			for idx := s.Start; idx < s.End; idx++ {
+				covered[idx] = true
+			}
+		}
+		var cells int
+		for x := 1; x < 5; x++ {
+			for y := 0; y < 3; y++ {
+				cells++
+				if idx := m.Encode(geometry.Point{x, y}); !covered[idx] {
+					return fmt.Errorf("spans miss cell (%d,%d) at index %d", x, y, idx)
+				}
+			}
+		}
+		if len(covered) != cells {
+			return fmt.Errorf("spans cover %d indices, box has %d cells", len(covered), cells)
+		}
+		return nil
+	}
+	if err := probe(); err != nil {
+		t.Fatalf("morton contracts fail even without the mutation: %v", err)
+	}
+	t.Setenv("CODS_MUTATION", mutate.MortonBitSwap)
+	if !mutate.Enabled(mutate.MortonBitSwap) {
+		t.Fatal("mutation hooks not compiled in (missing -tags conformance_mutations?)")
+	}
+	sfc.ResetSpanCache() // never compare against spans cached pre-mutation
+	defer sfc.ResetSpanCache()
+	err := probe()
+	if err == nil {
+		t.Fatalf("linearizer suite did not detect seeded defect %q", mutate.MortonBitSwap)
+	}
+	t.Logf("detected %q: %v", mutate.MortonBitSwap, err)
+}
+
 func TestMutationDetection(t *testing.T) {
 	for _, name := range mutate.Names() {
 		name := name
@@ -267,6 +338,12 @@ func TestMutationDetection(t *testing.T) {
 				// The lease registry lives outside the scenario pipeline;
 				// its detection drives the membership layer directly.
 				detectLeaseExpiryIgnored(t)
+				return
+			}
+			if name == mutate.MortonBitSwap {
+				// A consistent index-space relabeling is invisible to the
+				// pipeline; the curve's own contracts catch it.
+				detectMortonBitSwap(t)
 				return
 			}
 			sc := mutationScenario(name)
